@@ -1,0 +1,57 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one figure (or figure group) of the
+paper.  Each benchmark:
+
+* times the experiment runner with ``pytest-benchmark`` (one round — the
+  experiments are deterministic for a fixed seed, so repetition only
+  measures numpy noise);
+* stores the regenerated headline numbers in ``benchmark.extra_info`` so the
+  JSON output doubles as the reproduction record behind EXPERIMENTS.md;
+* asserts the *qualitative* shape the paper reports (who wins, direction of
+  trends) rather than absolute milliseconds.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``--repro-nodes N`` to change the matrix size (default 240; the paper
+uses 4000).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-nodes",
+        action="store",
+        default=240,
+        type=int,
+        help="number of nodes in the synthetic delay matrices (paper: 4000)",
+    )
+    parser.addoption(
+        "--repro-seed",
+        action="store",
+        default=0,
+        type=int,
+        help="master seed for the benchmark experiments",
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config(request) -> ExperimentConfig:
+    """The configuration shared by all figure benchmarks."""
+    return ExperimentConfig(
+        n_nodes=request.config.getoption("--repro-nodes"),
+        seed=request.config.getoption("--repro-seed"),
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark ``func`` with a single round and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""Ablation: dynamic-neighbour Vivaldi candidate-pool size.
+
+The paper samples one fresh candidate per existing neighbour (a pool of
+2 × 32).  This ablation varies the candidate multiplier to show how much the
+refinement depends on the width of the pool it can choose from.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core.dynamic_vivaldi import DynamicNeighborVivaldi, DynamicVivaldiConfig
+from repro.coords.vivaldi import VivaldiConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.mark.parametrize("multiplier", [2, 3])
+def test_ablation_candidate_pool(benchmark, experiment_config: ExperimentConfig, multiplier):
+    ctx = ExperimentContext(experiment_config)
+    config = DynamicVivaldiConfig(
+        vivaldi=VivaldiConfig(),
+        period=ctx.config.vivaldi_seconds,
+        candidate_multiplier=multiplier,
+    )
+
+    def run():
+        dynamic = DynamicNeighborVivaldi(ctx.matrix, config, rng=ctx.config.seed + 8)
+        return dynamic.run(3)
+
+    snapshots = run_once(benchmark, run)
+    first = snapshots[0].neighbor_edge_severities(ctx.severity).mean()
+    last = snapshots[-1].neighbor_edge_severities(ctx.severity).mean()
+    benchmark.extra_info["experiment"] = "ablation_dynamic_pool"
+    benchmark.extra_info["candidate_multiplier"] = multiplier
+    benchmark.extra_info["initial_mean_severity"] = round(float(first), 4)
+    benchmark.extra_info["final_mean_severity"] = round(float(last), 4)
+
+    # Refinement must reduce neighbour-edge severity regardless of pool width.
+    assert last < first

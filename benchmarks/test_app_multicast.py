@@ -1,0 +1,53 @@
+"""Application-level benchmark: overlay multicast with TIV-aware selection.
+
+Not a paper figure, but the paper's motivating application (§1): build the
+same multicast group with plain-Vivaldi parents and with dynamic-neighbour
+(TIV-aware) Vivaldi parents and compare parent quality against the
+brute-force oracle.
+"""
+
+from conftest import run_once
+
+from repro.apps import CoordinateStrategy, OracleStrategy, build_multicast_tree
+from repro.coords.base import MatrixPredictor
+from repro.core.dynamic_vivaldi import DynamicNeighborVivaldi, DynamicVivaldiConfig
+from repro.experiments.context import ExperimentContext
+
+
+def test_app_multicast_tiv_aware_parents(benchmark, experiment_config):
+    ctx = ExperimentContext(experiment_config)
+    matrix = ctx.matrix
+    join_order = list(range(1, matrix.n_nodes))
+
+    def run():
+        _, oracle = build_multicast_tree(
+            matrix, OracleStrategy(matrix), root=0, members=join_order
+        )
+        _, vivaldi = build_multicast_tree(
+            matrix, CoordinateStrategy(ctx.vivaldi), root=0, members=join_order
+        )
+        dynamic = DynamicNeighborVivaldi(
+            matrix, DynamicVivaldiConfig(period=ctx.config.vivaldi_seconds), rng=ctx.config.seed + 11
+        )
+        refined = dynamic.run(3)[-1]
+        _, aware = build_multicast_tree(
+            matrix, CoordinateStrategy(MatrixPredictor(refined.predicted)), root=0, members=join_order
+        )
+        return oracle.summary(), vivaldi.summary(), aware.summary()
+
+    oracle, vivaldi, aware = run_once(benchmark, run)
+    benchmark.extra_info["experiment"] = "app_multicast"
+    benchmark.extra_info["oracle_median_stretch"] = round(oracle["median_stretch"], 3)
+    benchmark.extra_info["vivaldi_median_parent_penalty"] = round(
+        vivaldi["median_parent_penalty"], 2
+    )
+    benchmark.extra_info["tiv_aware_median_parent_penalty"] = round(
+        aware["median_parent_penalty"], 2
+    )
+
+    # The oracle attaches every node to its true closest eligible parent.
+    assert oracle["median_parent_penalty"] == 0.0
+    # TIV-aware Vivaldi parents are at least as good as plain Vivaldi's and
+    # close the gap towards the oracle's tree cost.
+    assert aware["median_parent_penalty"] <= vivaldi["median_parent_penalty"]
+    assert aware["tree_cost_ms"] <= vivaldi["tree_cost_ms"] * 1.05

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 2 — CDF of TIV severity across the four data sets."""
+
+from conftest import run_once
+
+from repro.experiments.tiv_figures import fig02_severity_cdf
+
+
+def test_fig02_severity_cdf(benchmark, experiment_config):
+    result = run_once(benchmark, fig02_severity_cdf, experiment_config)
+    curves = result.data["curves"]
+    benchmark.extra_info["experiment"] = "fig02"
+    for name, curve in curves.items():
+        benchmark.extra_info[f"{name}_p90_severity"] = round(curve["quantiles"][0.9], 4)
+        benchmark.extra_info[f"{name}_violating_triangles"] = round(
+            result.data["violating_triangle_fraction"][name], 4
+        )
+
+    # Paper shape: every data set exhibits TIVs, most edges are mild, the
+    # distribution has a long tail (max far above the 90th percentile).
+    for name, curve in curves.items():
+        assert curve["max"] > 0, name
+        assert curve["max"] > 2 * curve["quantiles"][0.9], name
+        assert result.data["violating_triangle_fraction"][name] > 0.01, name

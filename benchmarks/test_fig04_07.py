@@ -1,0 +1,30 @@
+"""Benchmark: Figures 4-7 — TIV severity versus edge delay, per data set."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.tiv_figures import fig04_07_severity_vs_delay
+
+
+def test_fig04_07_severity_vs_delay(benchmark, experiment_config):
+    result = run_once(benchmark, fig04_07_severity_vs_delay, experiment_config)
+    series = result.data["series"]
+    benchmark.extra_info["experiment"] = "fig04_07"
+
+    for name, curve in series.items():
+        centers = np.asarray(curve["bin_centers"])
+        medians = np.asarray(curve["median"])
+        counts = np.asarray(curve["counts"])
+        benchmark.extra_info[f"{name}_bins"] = int(centers.size)
+
+        # Paper shape: longer edges tend to cause more severe violations —
+        # the count-weighted mean severity of the long half of the delay
+        # range exceeds that of the short half — but the relationship is
+        # irregular (the median is not monotone bin over bin).
+        split = np.median(centers)
+        short = medians[(centers <= split) & (counts > 0)]
+        long = medians[(centers > split) & (counts > 0)]
+        if short.size and long.size:
+            assert np.nanmean(long) >= np.nanmean(short), name
+        diffs = np.diff(medians[counts > 0])
+        assert np.any(diffs < 0) or diffs.size < 3, f"{name}: severity unrealistically monotone"

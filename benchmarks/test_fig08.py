@@ -1,0 +1,33 @@
+"""Benchmark: Figure 8 — within-cluster fraction and shortest paths vs delay."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.tiv_figures import fig08_shortest_path
+
+
+def test_fig08_shortest_path(benchmark, experiment_config):
+    result = run_once(benchmark, fig08_shortest_path, experiment_config)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig08"
+
+    centers = np.asarray(data["bin_centers"])
+    fraction = np.asarray(data["within_cluster_fraction"])
+    counts = np.asarray(data["edge_counts"])
+    valid = counts > 0
+
+    # Paper shape (top panel): short edges are mostly within-cluster, long
+    # edges are mostly cross-cluster.
+    first, last = np.flatnonzero(valid)[0], np.flatnonzero(valid)[-1]
+    assert fraction[first] > fraction[last]
+    benchmark.extra_info["short_edge_within_fraction"] = round(float(fraction[first]), 3)
+    benchmark.extra_info["long_edge_within_fraction"] = round(float(fraction[last]), 3)
+
+    # Paper shape (bottom panel): the shortest alternative path grows with
+    # the direct delay but stays at or below it (that gap is what produces
+    # severe TIVs).
+    sp = data["shortest_path"]
+    sp_centers = np.asarray(sp["bin_centers"])
+    sp_median = np.asarray(sp["median"])
+    assert np.all(sp_median <= sp_centers + 0.5 * (sp_centers[1] - sp_centers[0]) + 1e-9)
+    assert sp_median[-1] > sp_median[0]

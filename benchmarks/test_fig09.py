@@ -1,0 +1,24 @@
+"""Benchmark: Figure 9 — proximity does not predict TIV severity."""
+
+from conftest import run_once
+
+from repro.experiments.tiv_figures import fig09_proximity
+
+
+def test_fig09_proximity(benchmark, experiment_config):
+    result = run_once(benchmark, fig09_proximity, experiment_config)
+    datasets = result.data["datasets"]
+    benchmark.extra_info["experiment"] = "fig09"
+
+    for name, stats in datasets.items():
+        benchmark.extra_info[f"{name}_median_nearest_diff"] = round(
+            stats["median_nearest_difference"], 4
+        )
+        benchmark.extra_info[f"{name}_median_random_diff"] = round(
+            stats["median_random_difference"], 4
+        )
+        # Paper shape: nearest-pair edges are at most slightly more similar
+        # than random pairs — the gap between the two medians is small
+        # compared to the random-pair median itself.
+        gap = stats["median_random_difference"] - stats["median_nearest_difference"]
+        assert gap <= max(stats["median_random_difference"], 0.02) + 1e-9, name

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 10 — Vivaldi error trace on the 3-node TIV network."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.vivaldi_figures import fig10_three_node_trace
+
+
+def test_fig10_three_node_trace(benchmark, experiment_config):
+    result = run_once(benchmark, fig10_three_node_trace, experiment_config, seconds=100)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig10"
+    benchmark.extra_info["residual_oscillation_ms"] = {
+        k: round(v, 2) for k, v in data["residual_oscillation"].items()
+    }
+
+    # Paper shape: the 3-node TIV triangle cannot be embedded; errors keep
+    # oscillating instead of converging, and the long edge C-A carries a
+    # large persistent error.
+    total_steady_error = sum(data["steady_state_abs_error"].values())
+    assert total_steady_error > 10.0
+    assert max(data["residual_oscillation"].values()) > 1.0
+    assert len(data["times"]) == 100
+    # The sum of the three edge errors cannot simultaneously vanish.
+    traces = np.array(list(data["traces"].values()))
+    worst_instant = np.abs(traces).sum(axis=0).min()
+    assert worst_instant > 5.0

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 13 — Meridian ring members misplaced by TIVs."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.meridian_figures import fig13_ring_misplacement
+
+
+def test_fig13_ring_misplacement(benchmark, experiment_config):
+    result = run_once(benchmark, fig13_ring_misplacement, experiment_config)
+    series = result.data["series"]
+    benchmark.extra_info["experiment"] = "fig13"
+    for name, curve in series.items():
+        benchmark.extra_info[f"{name}_overall_misplaced"] = round(curve["overall_mean"], 4)
+
+    # Paper shape: placement errors are common at beta=0.5 and a larger beta
+    # tolerates more TIVs (fewer misplacements), at higher probing cost.
+    assert series["beta=0.5"]["overall_mean"] > 0.0
+    assert series["beta=0.9"]["overall_mean"] <= series["beta=0.5"]["overall_mean"] + 1e-9
+    assert series["beta=0.5"]["overall_mean"] <= series["beta=0.1"]["overall_mean"] + 1e-9
+
+    # Misplacement grows for longer delays (cross-cluster edges).
+    curve = series["beta=0.5"]
+    fraction = np.asarray(curve["misplaced_fraction"], dtype=float)
+    counts = np.asarray(curve["pair_counts"])
+    valid = np.flatnonzero(counts > 0)
+    first_third = fraction[valid[: max(1, valid.size // 3)]]
+    last_third = fraction[valid[-max(1, valid.size // 3):]]
+    assert np.nanmean(last_third) >= np.nanmean(first_third)

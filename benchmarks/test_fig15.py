@@ -1,0 +1,18 @@
+"""Benchmark: Figure 15 — IDES vs Vivaldi at neighbour selection."""
+
+from conftest import run_once
+
+from repro.experiments.strawman_figures import fig15_ides
+
+
+def test_fig15_ides(benchmark, experiment_config):
+    result = run_once(benchmark, fig15_ides, experiment_config)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig15"
+    benchmark.extra_info["vivaldi_median_penalty"] = round(data["vivaldi"]["median_penalty"], 2)
+    benchmark.extra_info["ides_median_penalty"] = round(data["ides"]["median_penalty"], 2)
+
+    # Paper shape: although IDES can represent TIVs, its neighbour-selection
+    # performance is no better than (typically worse than) Vivaldi's.
+    assert data["ides"]["mean_penalty"] >= data["vivaldi"]["mean_penalty"] * 0.9
+    assert data["ides"]["exact_fraction"] <= data["vivaldi"]["exact_fraction"] + 0.05

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 16 — Vivaldi with the localized adjustment term (LAT)."""
+
+from conftest import run_once
+
+from repro.experiments.strawman_figures import fig16_lat
+
+
+def test_fig16_lat(benchmark, experiment_config):
+    result = run_once(benchmark, fig16_lat, experiment_config)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig16"
+    benchmark.extra_info["vivaldi_median_penalty"] = round(data["vivaldi"]["median_penalty"], 2)
+    benchmark.extra_info["lat_median_penalty"] = round(data["vivaldi_lat"]["median_penalty"], 2)
+
+    # Paper shape: LAT changes neighbour selection only marginally — it is
+    # at best slightly better than original Vivaldi, never dramatically so.
+    vivaldi = data["vivaldi"]
+    lat = data["vivaldi_lat"]
+    assert abs(lat["exact_fraction"] - vivaldi["exact_fraction"]) < 0.2
+    assert lat["median_penalty"] <= vivaldi["median_penalty"] * 3 + 10

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 17 — Vivaldi with the global TIV-severity edge filter."""
+
+from conftest import run_once
+
+from repro.experiments.strawman_figures import fig17_vivaldi_filter
+
+
+def test_fig17_vivaldi_filter(benchmark, experiment_config):
+    result = run_once(benchmark, fig17_vivaldi_filter, experiment_config)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig17"
+    benchmark.extra_info["original_median_penalty"] = round(
+        data["vivaldi_original"]["median_penalty"], 2
+    )
+    benchmark.extra_info["filtered_median_penalty"] = round(
+        data["vivaldi_severity_filter"]["median_penalty"], 2
+    )
+
+    # Paper shape: naively excluding the globally worst-severity edges from
+    # Vivaldi probing does not meaningfully improve neighbour selection —
+    # TIV is too widespread for outlier removal to fix the embedding.
+    original = data["vivaldi_original"]
+    filtered = data["vivaldi_severity_filter"]
+    assert filtered["exact_fraction"] < original["exact_fraction"] + 0.15
+    assert filtered["median_penalty"] > original["median_penalty"] * 0.3

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 18 — Meridian with the global TIV-severity edge filter."""
+
+from conftest import run_once
+
+from repro.experiments.strawman_figures import fig18_meridian_filter
+
+
+def test_fig18_meridian_filter(benchmark, experiment_config):
+    result = run_once(benchmark, fig18_meridian_filter, experiment_config)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig18"
+    benchmark.extra_info["original_mean_penalty"] = round(
+        data["meridian_original"]["mean_penalty"], 2
+    )
+    benchmark.extra_info["filtered_mean_penalty"] = round(
+        data["meridian_severity_filter"]["mean_penalty"], 2
+    )
+
+    # Paper shape: removing the worst-severity edges from ring construction
+    # does not help Meridian and tends to degrade it (under-populated rings
+    # break query routing).
+    original = data["meridian_original"]
+    filtered = data["meridian_severity_filter"]
+    assert filtered["exact_fraction"] <= original["exact_fraction"] + 0.02
+    assert filtered["mean_penalty"] >= original["mean_penalty"] * 0.8

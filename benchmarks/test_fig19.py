@@ -1,0 +1,21 @@
+"""Benchmark: Figure 19 — TIV severity vs Vivaldi prediction ratio."""
+
+from conftest import run_once
+
+from repro.experiments.alert_figures import fig19_severity_vs_ratio
+
+
+def test_fig19_severity_vs_ratio(benchmark, experiment_config):
+    result = run_once(benchmark, fig19_severity_vs_ratio, experiment_config)
+    data = result.data
+    benchmark.extra_info["experiment"] = "fig19"
+    benchmark.extra_info["median_severity_shrunk"] = round(data["median_severity_shrunk"], 4)
+    benchmark.extra_info["median_severity_neutral"] = round(data["median_severity_neutral"], 4)
+    benchmark.extra_info["median_severity_stretched"] = round(
+        data["median_severity_stretched"], 4
+    )
+
+    # Paper shape: edges the embedding shrank (small prediction ratio) carry
+    # much higher TIV severity; edges with ratio >= 2 cause almost none.
+    assert data["median_severity_shrunk"] > data["median_severity_neutral"]
+    assert data["median_severity_stretched"] <= data["median_severity_neutral"] + 0.05

@@ -1,0 +1,32 @@
+"""Benchmark: Figures 22-23 — dynamic-neighbour Vivaldi."""
+
+from conftest import run_once
+
+from repro.experiments.alert_figures import fig22_23_dynamic_neighbor
+
+
+def test_fig22_23_dynamic_neighbor(benchmark, experiment_config):
+    result = run_once(
+        benchmark,
+        fig22_23_dynamic_neighbor,
+        experiment_config,
+        iterations=5,
+        report_iterations=(1, 2, 5),
+    )
+    severity = result.data["neighbor_edge_severity"]
+    penalty = result.data["selection_penalty"]
+    benchmark.extra_info["experiment"] = "fig22_23"
+    for iteration, stats in severity.items():
+        benchmark.extra_info[f"iter{iteration}_mean_neighbor_severity"] = round(stats["mean"], 4)
+    for iteration, stats in penalty.items():
+        benchmark.extra_info[f"iter{iteration}_median_penalty"] = round(stats["median_penalty"], 2)
+
+    first, last = min(severity), max(severity)
+    # Fig. 22 shape: neighbour-edge TIV severity shrinks iteration over iteration.
+    assert severity[last]["mean"] < severity[first]["mean"]
+    assert severity[last]["p90"] <= severity[first]["p90"] + 1e-9
+
+    # Fig. 23 shape: neighbour selection improves over the original
+    # random-neighbour Vivaldi after a few iterations.
+    assert penalty[last]["median_penalty"] <= penalty[first]["median_penalty"]
+    assert penalty[last]["exact_fraction"] >= penalty[first]["exact_fraction"] - 0.02

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 25 — TIV-aware Meridian, small full-membership setting."""
+
+from conftest import run_once
+
+from repro.experiments.alert_figures import fig25_meridian_alert_small
+
+
+def test_fig25_meridian_alert_small(benchmark, experiment_config):
+    result = run_once(benchmark, fig25_meridian_alert_small, experiment_config)
+    results = result.data["results"]
+    benchmark.extra_info["experiment"] = "fig25"
+    for name in ("meridian_original", "meridian_tiv_alert", "meridian_no_termination"):
+        benchmark.extra_info[f"{name}_mean_penalty"] = round(results[name]["mean_penalty"], 2)
+        benchmark.extra_info[f"{name}_exact_fraction"] = round(results[name]["exact_fraction"], 4)
+    overhead = results.get("probe_overhead_fraction", {}).get("tiv_alert_vs_original", 0.0)
+    benchmark.extra_info["probe_overhead_fraction"] = round(overhead, 4)
+
+    original = results["meridian_original"]
+    aware = results["meridian_tiv_alert"]
+    ideal = results["meridian_no_termination"]
+
+    # Paper shape: the TIV alert improves on original Meridian and can match
+    # or beat the no-termination ideal at a similar few-percent probe cost.
+    assert aware["mean_penalty"] <= original["mean_penalty"]
+    assert aware["exact_fraction"] >= original["exact_fraction"] - 0.01
+    assert aware["mean_penalty"] <= ideal["mean_penalty"] * 1.1 + 0.5
+    assert -0.05 <= overhead < 0.30

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""TIV survey: reproduce the Section 2 measurement analysis as a text report.
+
+Prints, for each of the four synthetic data sets standing in for the paper's
+measured matrices:
+
+* the fraction of violating triangles and the severity distribution (Fig. 2);
+* the severity-vs-delay relationship (Figs. 4-7);
+* the cluster structure and the within- vs cross-cluster contrast (Fig. 3);
+* the proximity (non-)predictability result (Fig. 9).
+
+Run with::
+
+    python examples/tiv_survey.py [n_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import classify_major_clusters, compute_tiv_severity, load_dataset, violating_triangle_fraction
+from repro.tiv.analysis import cluster_severity_analysis, severity_vs_delay
+from repro.tiv.proximity import proximity_analysis
+
+DATASETS = {
+    "DS2": "ds2_like",
+    "Meridian": "meridian_like",
+    "p2psim": "p2psim_like",
+    "PlanetLab": "planetlab_like",
+}
+
+
+def survey(name: str, preset: str, n_nodes: int) -> None:
+    matrix = load_dataset(preset, n_nodes=n_nodes, rng=0)
+    severity = compute_tiv_severity(matrix)
+    summary = severity.summary()
+
+    print(f"--- {name} ({matrix.n_nodes} nodes, preset {preset!r}) ---")
+    print(f"violating triangles: {violating_triangle_fraction(matrix, rng=0):.1%}")
+    print(
+        f"edge severity: median {summary['median']:.3f}, p90 {summary['p90']:.3f}, "
+        f"max {summary['max']:.2f} ({summary['fraction_nonzero']:.0%} of edges violate at least once)"
+    )
+
+    stats = severity_vs_delay(matrix, severity, bin_width=25.0).nonempty()
+    short = np.nanmean(stats.median[: max(1, stats.median.size // 3)])
+    long = np.nanmean(stats.median[-max(1, stats.median.size // 3):])
+    print(f"severity vs delay: short-edge median {short:.3f} -> long-edge median {long:.3f}")
+
+    clusters = classify_major_clusters(matrix)
+    analysis = cluster_severity_analysis(matrix, severity, clusters)
+    print(
+        f"clusters (sizes {clusters.sizes()}): within-cluster edges cause "
+        f"{analysis.mean_within_violations:.0f} violations on average, cross-cluster "
+        f"{analysis.mean_cross_violations:.0f}"
+    )
+
+    proximity = proximity_analysis(matrix, severity, n_samples=5000, rng=1)
+    print(
+        f"proximity: median severity difference nearest-pair "
+        f"{proximity.nearest_cdf().median:.3f} vs random-pair "
+        f"{proximity.random_cdf().median:.3f} (gap {proximity.median_gap():.3f})\n"
+    )
+
+
+def main(n_nodes: int = 200) -> None:
+    print("TIV survey over the four synthetic data sets standing in for the paper's measurements\n")
+    for name, preset in DATASETS.items():
+        survey(name, preset, n_nodes)
+    print("Conclusion (matching the paper): TIVs are everywhere, severity grows")
+    print("irregularly with edge length, and neither length nor proximity alone")
+    print("predicts which edges are dangerous — hence the TIV alert mechanism.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

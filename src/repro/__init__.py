@@ -1,0 +1,94 @@
+"""repro — reproduction of "Towards Network Triangle Inequality Violation
+Aware Distributed Systems" (Wang, Zhang, Ng — IMC 2007).
+
+The library re-implements the paper's full pipeline:
+
+* synthetic Internet-like delay spaces with injected TIVs
+  (:mod:`repro.delayspace`),
+* the TIV severity metric and its analyses (:mod:`repro.tiv`),
+* the Vivaldi, IDES and LAT coordinate systems (:mod:`repro.coords`),
+* the Meridian overlay (:mod:`repro.meridian`),
+* the neighbour-selection experiment harness (:mod:`repro.neighbor`),
+* the paper's contribution — the TIV alert mechanism, dynamic-neighbour
+  Vivaldi and TIV-aware Meridian (:mod:`repro.core`),
+* per-figure experiment runners (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import load_dataset, compute_tiv_severity, embed_vivaldi, TIVAlert
+
+    matrix = load_dataset("ds2_like", n_nodes=200, rng=0)
+    severity = compute_tiv_severity(matrix)
+    vivaldi = embed_vivaldi(matrix, seconds=100, rng=1)
+    alert = TIVAlert(matrix, vivaldi)
+    print(alert.evaluate(severity, target_fraction=0.05).accuracy)
+"""
+
+from repro.core import (
+    DynamicNeighborVivaldi,
+    DynamicVivaldiConfig,
+    TIVAlert,
+    TIVAwareMeridianConfig,
+    build_tiv_aware_overlay,
+    severity_vs_prediction_ratio,
+)
+from repro.coords import (
+    IDESConfig,
+    LATCoordinates,
+    VivaldiConfig,
+    VivaldiSystem,
+    embed_vivaldi,
+    fit_ides,
+    fit_lat,
+)
+from repro.delayspace import (
+    DelayMatrix,
+    SyntheticSpaceConfig,
+    available_datasets,
+    classify_major_clusters,
+    clustered_delay_space,
+    euclidean_delay_space,
+    load_dataset,
+)
+from repro.errors import ReproError
+from repro.meridian import MeridianConfig, MeridianOverlay
+from repro.neighbor import (
+    CoordinateSelectionExperiment,
+    MeridianSelectionExperiment,
+    percentage_penalty,
+)
+from repro.tiv import compute_tiv_severity, violating_triangle_fraction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DelayMatrix",
+    "SyntheticSpaceConfig",
+    "available_datasets",
+    "load_dataset",
+    "clustered_delay_space",
+    "euclidean_delay_space",
+    "classify_major_clusters",
+    "compute_tiv_severity",
+    "violating_triangle_fraction",
+    "VivaldiConfig",
+    "VivaldiSystem",
+    "embed_vivaldi",
+    "IDESConfig",
+    "fit_ides",
+    "LATCoordinates",
+    "fit_lat",
+    "MeridianConfig",
+    "MeridianOverlay",
+    "percentage_penalty",
+    "CoordinateSelectionExperiment",
+    "MeridianSelectionExperiment",
+    "TIVAlert",
+    "severity_vs_prediction_ratio",
+    "DynamicVivaldiConfig",
+    "DynamicNeighborVivaldi",
+    "TIVAwareMeridianConfig",
+    "build_tiv_aware_overlay",
+]

@@ -1,0 +1,34 @@
+"""Application-level substrates built on the neighbour-selection machinery.
+
+The paper motivates TIV awareness with overlay applications — tree-based
+overlay multicast in particular ("a joining node needs to find an existing
+group member who is nearby to serve as its parent in the tree").  This
+package provides small but complete implementations of those applications so
+the TIV-aware mechanisms can be evaluated end to end:
+
+* :mod:`repro.apps.multicast` — incremental construction of a tree-based
+  overlay multicast group with pluggable parent-selection strategies, plus
+  the standard tree-quality metrics (link stress is not modelled — delays
+  only, like the paper).
+* :mod:`repro.apps.strategies` — parent/server selection strategies: oracle
+  (brute-force measurement), Vivaldi coordinates, Meridian queries, and the
+  TIV-aware variants.
+"""
+
+from repro.apps.multicast import MulticastTree, TreeMetrics, build_multicast_tree
+from repro.apps.strategies import (
+    CoordinateStrategy,
+    MeridianStrategy,
+    OracleStrategy,
+    SelectionStrategy,
+)
+
+__all__ = [
+    "MulticastTree",
+    "TreeMetrics",
+    "build_multicast_tree",
+    "SelectionStrategy",
+    "OracleStrategy",
+    "CoordinateStrategy",
+    "MeridianStrategy",
+]

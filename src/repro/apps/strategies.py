@@ -1,0 +1,158 @@
+"""Neighbour/parent selection strategies for overlay applications.
+
+A strategy answers one question: *given a joining node and a set of existing
+members, which member should it attach to?*  The implementations mirror the
+mechanisms the paper evaluates:
+
+* :class:`OracleStrategy` — brute-force measurement of every member (the
+  lower bound; immune to TIV by construction but unscalable, §1).
+* :class:`CoordinateStrategy` — pick the member with the smallest delay
+  predicted by a coordinate system (Vivaldi, IDES, LAT, or a
+  dynamic-neighbour Vivaldi snapshot).
+* :class:`MeridianStrategy` — issue a Meridian closest-neighbour query
+  restricted to the member set, optionally with the TIV-aware restart
+  policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coords.base import DelayPredictor
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import NeighborSelectionError
+from repro.meridian.overlay import MeridianOverlay, RestartPolicy
+from repro.meridian.rings import MeridianConfig
+from repro.stats.rng import RngLike, ensure_rng
+
+
+class SelectionStrategy(abc.ABC):
+    """Strategy interface: choose which existing member a node attaches to."""
+
+    #: Number of delay measurements ("probes") the strategy has issued so far.
+    probes: int = 0
+
+    @abc.abstractmethod
+    def select(self, node: int, members: Sequence[int]) -> int:
+        """Return the member of ``members`` that ``node`` should attach to."""
+
+    def reset_probes(self) -> None:
+        """Zero the probe counter (e.g. between experiments)."""
+        self.probes = 0
+
+
+class OracleStrategy(SelectionStrategy):
+    """Brute force: measure the delay to every member and pick the smallest.
+
+    Parameters
+    ----------
+    matrix:
+        The measured delay matrix (each lookup counts as one probe).
+    """
+
+    def __init__(self, matrix: DelayMatrix):
+        self._matrix = matrix
+        self.probes = 0
+
+    def select(self, node: int, members: Sequence[int]) -> int:
+        members = [int(m) for m in members if int(m) != node]
+        if not members:
+            raise NeighborSelectionError("no members to select from")
+        delays = np.array([self._matrix.values[node, m] for m in members])
+        self.probes += len(members)
+        finite = np.isfinite(delays)
+        if not finite.any():
+            raise NeighborSelectionError(f"node {node} has no measured member delays")
+        candidates = np.asarray(members)[finite]
+        return int(candidates[int(np.argmin(delays[finite]))])
+
+
+class CoordinateStrategy(SelectionStrategy):
+    """Pick the member with the smallest *predicted* delay (zero probes).
+
+    Parameters
+    ----------
+    predictor:
+        Any :class:`~repro.coords.base.DelayPredictor` (a Vivaldi system, an
+        IDES/LAT fit, or a :class:`~repro.coords.base.MatrixPredictor`
+    """
+
+    def __init__(self, predictor: DelayPredictor):
+        self._predicted = predictor.predicted_matrix()
+        self.probes = 0
+
+    def select(self, node: int, members: Sequence[int]) -> int:
+        members = [int(m) for m in members if int(m) != node]
+        if not members:
+            raise NeighborSelectionError("no members to select from")
+        predictions = self._predicted[node, members]
+        return int(members[int(np.argmin(predictions))])
+
+
+class MeridianStrategy(SelectionStrategy):
+    """Attach via a Meridian closest-neighbour query over the member set.
+
+    A fresh overlay is built over the current member set each time the
+    membership changes (members join incrementally in multicast), which
+    mirrors how Meridian ring sets are maintained by gossip in practice.
+
+    Parameters
+    ----------
+    matrix:
+        The measured delay matrix (query probes are counted).
+    config:
+        Meridian parameters.
+    restart_policy:
+        Optional §5.3 TIV-aware restart policy.
+    membership_adjuster:
+        Optional §5.3 TIV-aware ring construction adjuster.
+    rng:
+        Seed or generator for overlay construction and start-node choice.
+    """
+
+    def __init__(
+        self,
+        matrix: DelayMatrix,
+        *,
+        config: MeridianConfig | None = None,
+        restart_policy: RestartPolicy | None = None,
+        membership_adjuster=None,
+        rng: RngLike = None,
+    ):
+        self._matrix = matrix
+        self._config = config if config is not None else MeridianConfig()
+        self._restart_policy = restart_policy
+        self._membership_adjuster = membership_adjuster
+        self._rng = ensure_rng(rng)
+        self._overlay: Optional[MeridianOverlay] = None
+        self._overlay_members: tuple[int, ...] = ()
+        self.probes = 0
+
+    def _overlay_for(self, members: Sequence[int]) -> MeridianOverlay:
+        key = tuple(sorted(int(m) for m in members))
+        if self._overlay is None or key != self._overlay_members:
+            self._overlay = MeridianOverlay(
+                self._matrix,
+                list(key),
+                self._config,
+                rng=self._rng,
+                full_membership=len(key) <= self._config.k * self._config.n_rings,
+                membership_adjuster=self._membership_adjuster,
+            )
+            self._overlay_members = key
+        return self._overlay
+
+    def select(self, node: int, members: Sequence[int]) -> int:
+        members = [int(m) for m in members if int(m) != node]
+        if not members:
+            raise NeighborSelectionError("no members to select from")
+        if len(members) == 1:
+            self.probes += 1
+            return members[0]
+        overlay = self._overlay_for(members)
+        result = overlay.closest_neighbor_query(node, restart_policy=self._restart_policy)
+        self.probes += result.probes
+        return int(result.selected)

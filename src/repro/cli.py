@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+The CLI exposes the library's main entry points so the reproduction can be
+driven without writing Python::
+
+    python -m repro datasets                      # list synthetic presets
+    python -m repro generate ds2_like -o ds2.npz  # write a matrix to disk
+    python -m repro analyze --preset ds2_like     # TIV severity summary
+    python -m repro experiments                   # list figure runners
+    python -m repro run fig20 --nodes 300         # regenerate one figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.delayspace.datasets import available_datasets, get_preset, load_dataset
+from repro.delayspace.io import load_npz, save_npz
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import list_experiments, run_experiment
+from repro.tiv.severity import compute_tiv_severity, violating_triangle_fraction
+
+
+def _json_default(value):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return str(value)
+
+
+def _print_json(payload, stream=None) -> None:
+    # Resolve sys.stdout lazily so output redirection (and pytest's capsys)
+    # set up after import still sees the CLI's output.
+    stream = stream if stream is not None else sys.stdout
+    json.dump(payload, stream, indent=2, default=_json_default)
+    stream.write("\n")
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_datasets():
+        preset = get_preset(name)
+        rows.append(
+            {
+                "name": name,
+                "paper_nodes": preset.paper_nodes,
+                "default_nodes": preset.default_nodes,
+                "description": preset.description,
+            }
+        )
+    _print_json(rows)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    matrix = load_dataset(args.preset, n_nodes=args.nodes, rng=args.seed)
+    save_npz(matrix, args.output)
+    print(f"wrote {matrix.n_nodes}-node matrix for preset {args.preset!r} to {args.output}")
+    return 0
+
+
+def _load_matrix(args: argparse.Namespace) -> DelayMatrix:
+    if args.input:
+        return load_npz(args.input)
+    return load_dataset(args.preset, n_nodes=args.nodes, rng=args.seed)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args)
+    severity = compute_tiv_severity(matrix)
+    payload = {
+        "n_nodes": matrix.n_nodes,
+        "median_delay_ms": matrix.median_delay(),
+        "missing_fraction": matrix.missing_fraction(),
+        "violating_triangle_fraction": violating_triangle_fraction(matrix, rng=args.seed),
+        "severity": severity.summary(),
+    }
+    _print_json(payload)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    _print_json(list(list_experiments()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(n_nodes=args.nodes, seed=args.seed)
+    result = run_experiment(args.experiment, config)
+    payload = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "paper_expectation": result.paper_expectation,
+        "data": result.data if args.full else _scalars_only(result.data),
+    }
+    _print_json(payload)
+    return 0
+
+
+def _scalars_only(data, depth: int = 0):
+    """Keep only scalar leaves (and small dicts) so the default output stays readable."""
+    if isinstance(data, dict):
+        out = {}
+        for key, value in data.items():
+            cleaned = _scalars_only(value, depth + 1)
+            if cleaned is not None:
+                out[key] = cleaned
+        return out or None
+    if isinstance(data, (int, float, str, bool)):
+        return data
+    if isinstance(data, (np.floating, np.integer)):
+        return data.item()
+    if isinstance(data, (list, tuple)) and len(data) <= 6:
+        return [x for x in (_scalars_only(v, depth + 1) for v in data) if x is not None]
+    return None
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    config = ExperimentConfig(n_nodes=args.nodes, seed=args.seed)
+    report = generate_report(config, only=args.only)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Towards Network TIV Aware Distributed Systems' (IMC 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="list the synthetic dataset presets")
+    datasets.set_defaults(func=_cmd_datasets)
+
+    generate = sub.add_parser("generate", help="generate a synthetic delay matrix and save it")
+    generate.add_argument("preset", choices=available_datasets())
+    generate.add_argument("-o", "--output", required=True, help="output .npz path")
+    generate.add_argument("--nodes", type=int, default=None, help="node count override")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    analyze = sub.add_parser("analyze", help="TIV severity summary of a matrix")
+    source = analyze.add_mutually_exclusive_group()
+    source.add_argument("--input", help="path to a .npz delay matrix")
+    source.add_argument("--preset", choices=available_datasets(), default="ds2_like")
+    analyze.add_argument("--nodes", type=int, default=None)
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    experiments = sub.add_parser("experiments", help="list the per-figure experiment runners")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    run = sub.add_parser("run", help="run one figure experiment")
+    run.add_argument("experiment", help="experiment id, e.g. fig20 (see 'experiments')")
+    run.add_argument("--nodes", type=int, default=240)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--full", action="store_true", help="emit the full data payload")
+    run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser(
+        "report", help="run experiments and render a Markdown results report"
+    )
+    report.add_argument("--nodes", type=int, default=240)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiment ids to include"
+    )
+    report.add_argument("-o", "--output", default=None, help="write the report to a file")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,195 @@
+"""GNP: landmark-based network coordinates (Ng & Zhang, INFOCOM 2002).
+
+GNP is the centralised ancestor of Vivaldi and the first system the paper's
+related-work section lists.  A fixed set of landmark nodes measure the
+delays among themselves and solve a global optimisation placing the
+landmarks in a low-dimensional Euclidean space; every ordinary host then
+measures its delay to the landmarks only and solves a small optimisation to
+position itself relative to them.
+
+It is included here because the paper notes its findings "can potentially be
+applied to other network coordinate systems": GNP plugs straight into the
+same :class:`~repro.coords.base.DelayPredictor` interface, so the TIV alert,
+the neighbour-selection harness and the experiments all work with it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.coords.base import DelayPredictor
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import EmbeddingError
+from repro.stats.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class GNPConfig:
+    """Parameters of the GNP embedding.
+
+    Attributes
+    ----------
+    dimension:
+        Dimensionality of the Euclidean coordinate space.
+    n_landmarks:
+        Number of landmark nodes (the GNP paper suggests a little more than
+        ``dimension + 1``; defaults to ``2 * dimension + 5``).
+    max_iterations:
+        Iteration cap passed to the numerical optimiser.
+    """
+
+    dimension: int = 5
+    n_landmarks: Optional[int] = None
+    max_iterations: int = 200
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise EmbeddingError("dimension must be >= 1")
+        if self.n_landmarks is not None and self.n_landmarks <= self.dimension:
+            raise EmbeddingError("n_landmarks must exceed the dimension")
+        if self.max_iterations < 1:
+            raise EmbeddingError("max_iterations must be >= 1")
+
+
+class GNPCoordinates(DelayPredictor):
+    """Fitted GNP coordinates.
+
+    Attributes
+    ----------
+    coordinates:
+        ``(n_nodes, dimension)`` Euclidean coordinates.
+    landmarks:
+        Indices of the landmark nodes.
+    """
+
+    def __init__(self, coordinates: np.ndarray, landmarks: Sequence[int]):
+        coords = np.asarray(coordinates, dtype=float)
+        if coords.ndim != 2:
+            raise EmbeddingError("coordinates must be a 2-D array")
+        self.coordinates = coords
+        self.landmarks = tuple(int(i) for i in landmarks)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.coordinates.shape[0])
+
+    def predict(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        return float(np.linalg.norm(self.coordinates[i] - self.coordinates[j]))
+
+    def predicted_matrix(self) -> np.ndarray:
+        diffs = self.coordinates[:, None, :] - self.coordinates[None, :, :]
+        distances = np.sqrt(np.sum(diffs * diffs, axis=-1))
+        np.fill_diagonal(distances, 0.0)
+        return distances
+
+
+def _relative_error(predicted: np.ndarray, measured: np.ndarray) -> float:
+    valid = np.isfinite(measured) & (measured > 0)
+    if not valid.any():
+        return 0.0
+    ratio = (predicted[valid] - measured[valid]) / measured[valid]
+    return float(np.sum(ratio * ratio))
+
+
+def _place_landmarks(
+    landmark_delays: np.ndarray, dimension: int, max_iterations: int, gen: np.random.Generator
+) -> np.ndarray:
+    count = landmark_delays.shape[0]
+    scale = np.nanmax(landmark_delays[np.isfinite(landmark_delays)]) or 1.0
+
+    def objective(flat: np.ndarray) -> float:
+        coords = flat.reshape(count, dimension)
+        diffs = coords[:, None, :] - coords[None, :, :]
+        predicted = np.sqrt(np.sum(diffs * diffs, axis=-1))
+        iu = np.triu_indices(count, k=1)
+        return _relative_error(predicted[iu], landmark_delays[iu])
+
+    initial = gen.uniform(0.0, scale, size=count * dimension)
+    result = minimize(objective, initial, method="Nelder-Mead",
+                      options={"maxiter": max_iterations * count * dimension, "fatol": 1e-6})
+    return result.x.reshape(count, dimension)
+
+
+def _place_host(
+    host_delays: np.ndarray,
+    landmark_coords: np.ndarray,
+    max_iterations: int,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    dimension = landmark_coords.shape[1]
+    scale = float(np.nanmax(host_delays)) if np.isfinite(host_delays).any() else 1.0
+
+    def objective(position: np.ndarray) -> float:
+        predicted = np.linalg.norm(landmark_coords - position[None, :], axis=1)
+        return _relative_error(predicted, host_delays)
+
+    initial = landmark_coords.mean(axis=0) + gen.normal(0.0, max(scale, 1.0) * 0.05, size=dimension)
+    result = minimize(objective, initial, method="Nelder-Mead",
+                      options={"maxiter": max_iterations * dimension, "fatol": 1e-6})
+    return result.x
+
+
+def fit_gnp(
+    matrix: DelayMatrix,
+    config: GNPConfig | None = None,
+    *,
+    rng: RngLike = None,
+    landmarks: Optional[Sequence[int]] = None,
+) -> GNPCoordinates:
+    """Fit GNP coordinates to a delay matrix.
+
+    Parameters
+    ----------
+    matrix:
+        Measured delays.
+    config:
+        GNP parameters.
+    rng:
+        Seed or generator (landmark choice and optimiser initialisation).
+    landmarks:
+        Explicit landmark indices; drawn uniformly at random when omitted.
+    """
+    cfg = config if config is not None else GNPConfig()
+    gen = ensure_rng(rng)
+    n = matrix.n_nodes
+    delays = matrix.values
+
+    if landmarks is not None:
+        landmark_idx = np.asarray([int(i) for i in landmarks], dtype=int)
+        if np.unique(landmark_idx).size != landmark_idx.size:
+            raise EmbeddingError("landmark list contains duplicates")
+        if landmark_idx.size <= cfg.dimension:
+            raise EmbeddingError("need more landmarks than dimensions")
+        if landmark_idx.min() < 0 or landmark_idx.max() >= n:
+            raise EmbeddingError("landmark index out of range")
+    else:
+        count = cfg.n_landmarks if cfg.n_landmarks is not None else 2 * cfg.dimension + 5
+        count = min(count, n)
+        if count <= cfg.dimension:
+            raise EmbeddingError(
+                f"matrix has too few nodes ({n}) for a {cfg.dimension}-D GNP embedding"
+            )
+        landmark_idx = np.sort(gen.choice(n, size=count, replace=False))
+
+    landmark_delays = delays[np.ix_(landmark_idx, landmark_idx)]
+    landmark_coords = _place_landmarks(
+        landmark_delays, cfg.dimension, cfg.max_iterations, gen
+    )
+
+    coordinates = np.zeros((n, cfg.dimension))
+    coordinates[landmark_idx] = landmark_coords
+    landmark_set = set(int(i) for i in landmark_idx)
+    for host in range(n):
+        if host in landmark_set:
+            continue
+        coordinates[host] = _place_host(
+            delays[host, landmark_idx], landmark_coords, cfg.max_iterations, gen
+        )
+    return GNPCoordinates(coordinates, landmarks=landmark_idx.tolist())

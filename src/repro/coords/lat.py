@@ -1,0 +1,128 @@
+"""Vivaldi with a localized adjustment term (Lee et al., SIGMETRICS 2006).
+
+The LAT technique keeps the Euclidean coordinates produced by a network
+embedding (here: Vivaldi) but gives every node ``x`` an additive,
+non-Euclidean adjustment ``e_x``.  The predicted delay becomes::
+
+    d̂(x, y) = ||c_x - c_y|| + e_x + e_y
+
+where ``e_x`` is set to half the average signed prediction error observed by
+node ``x`` against a sample of measured nodes::
+
+    e_x = sum_{y in S_x} (d(x, y) - ||c_x - c_y||) / (2 |S_x|)
+
+The paper evaluates LAT as a §4.2 strawman (Fig. 16) and finds it improves
+aggregate accuracy a little but barely helps neighbour selection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coords.base import DelayPredictor
+from repro.coords.vivaldi import VivaldiSystem
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import EmbeddingError
+from repro.stats.rng import RngLike, ensure_rng
+
+
+class LATCoordinates(DelayPredictor):
+    """Euclidean coordinates plus per-node localized adjustment terms.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n_nodes, dimension)`` Euclidean coordinates (typically a Vivaldi
+        snapshot).
+    adjustments:
+        Per-node adjustment terms ``e_x`` (ms).
+    """
+
+    def __init__(self, coordinates: np.ndarray, adjustments: np.ndarray):
+        coords = np.asarray(coordinates, dtype=float)
+        adj = np.asarray(adjustments, dtype=float)
+        if coords.ndim != 2:
+            raise EmbeddingError("coordinates must be a 2-D array")
+        if adj.shape != (coords.shape[0],):
+            raise EmbeddingError("adjustments must have one entry per node")
+        self.coordinates = coords
+        self.adjustments = adj
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.coordinates.shape[0])
+
+    def predict(self, i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        euclidean = float(np.linalg.norm(self.coordinates[i] - self.coordinates[j]))
+        return max(euclidean + self.adjustments[i] + self.adjustments[j], 0.0)
+
+    def predicted_matrix(self) -> np.ndarray:
+        diffs = self.coordinates[:, None, :] - self.coordinates[None, :, :]
+        euclidean = np.sqrt(np.sum(diffs * diffs, axis=-1))
+        predicted = euclidean + self.adjustments[:, None] + self.adjustments[None, :]
+        predicted = np.maximum(predicted, 0.0)
+        np.fill_diagonal(predicted, 0.0)
+        return predicted
+
+
+def fit_lat(
+    vivaldi: VivaldiSystem,
+    *,
+    sample_size: Optional[int] = None,
+    samples: Optional[Sequence[Sequence[int]]] = None,
+    rng: RngLike = None,
+) -> LATCoordinates:
+    """Compute localized adjustment terms for a converged Vivaldi embedding.
+
+    Parameters
+    ----------
+    vivaldi:
+        A (converged) Vivaldi system; its coordinates and measured delay
+        matrix are used.
+    sample_size:
+        Number of random measured nodes each node averages its error over.
+        Defaults to the node's Vivaldi neighbour count (the realistic
+        choice: a node only knows the delays it has measured).
+    samples:
+        Explicit per-node sample lists, overriding ``sample_size``.
+    rng:
+        Seed or generator used when sampling.
+    """
+    matrix: DelayMatrix = vivaldi.matrix
+    coords = vivaldi.coordinates
+    measured = matrix.values
+    n = matrix.n_nodes
+    gen = ensure_rng(rng)
+
+    if samples is not None:
+        if len(samples) != n:
+            raise EmbeddingError(f"expected {n} sample lists, got {len(samples)}")
+        sample_lists = [[int(j) for j in s] for s in samples]
+    else:
+        sample_lists = []
+        k = sample_size if sample_size is not None else vivaldi.config.n_neighbors
+        k = min(k, n - 1)
+        if k < 1:
+            raise EmbeddingError("sample_size must be >= 1")
+        for i in range(n):
+            pool = np.delete(np.arange(n), i)
+            sample_lists.append([int(j) for j in gen.choice(pool, size=k, replace=False)])
+
+    adjustments = np.zeros(n)
+    for i, sample in enumerate(sample_lists):
+        if not sample:
+            continue
+        errors = []
+        for j in sample:
+            d = measured[i, j]
+            if not np.isfinite(d):
+                continue
+            predicted = float(np.linalg.norm(coords[i] - coords[j]))
+            errors.append(d - predicted)
+        if errors:
+            adjustments[i] = float(np.mean(errors)) / 2.0
+    return LATCoordinates(coords, adjustments)

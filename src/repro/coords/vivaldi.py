@@ -1,0 +1,282 @@
+"""The Vivaldi network coordinate system (Dabek et al., SIGCOMM 2004).
+
+Vivaldi assigns every node a coordinate in a low-dimensional Euclidean space
+and predicts the delay between two nodes as the distance between their
+coordinates.  Coordinates are computed by simulating a spring system: every
+measured node pair is a spring whose rest length is the measured delay, and
+each probe moves the probing node along the spring force direction with an
+adaptive step size weighted by the relative confidence of the two nodes.
+
+The paper runs Vivaldi with 32 random neighbours per node in a 5-D Euclidean
+space; those are the defaults of :class:`VivaldiConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coords.base import DelayPredictor
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import EmbeddingError
+from repro.stats.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class VivaldiConfig:
+    """Parameters of the Vivaldi embedding.
+
+    Attributes
+    ----------
+    dimension:
+        Dimensionality of the Euclidean coordinate space (paper: 5).
+    n_neighbors:
+        Number of random probing neighbours per node (paper: 32).
+    cc:
+        The adaptive-timestep constant scaling coordinate movement
+        (``delta = cc * w`` in the Vivaldi paper, recommended 0.25).
+    ce:
+        The constant scaling the update of the local error estimate
+        (recommended 0.25).
+    initial_error:
+        Initial value of each node's relative error estimate.
+    min_error:
+        Floor applied to error estimates to keep the confidence weight
+        defined.
+    probes_per_node_per_second:
+        How many neighbour probes each node performs per simulated second.
+    """
+
+    dimension: int = 5
+    n_neighbors: int = 32
+    cc: float = 0.25
+    ce: float = 0.25
+    initial_error: float = 1.0
+    min_error: float = 1e-3
+    probes_per_node_per_second: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise EmbeddingError("dimension must be >= 1")
+        if self.n_neighbors < 1:
+            raise EmbeddingError("n_neighbors must be >= 1")
+        if not 0 < self.cc <= 1 or not 0 < self.ce <= 1:
+            raise EmbeddingError("cc and ce must lie in (0, 1]")
+        if self.probes_per_node_per_second < 1:
+            raise EmbeddingError("probes_per_node_per_second must be >= 1")
+
+
+class VivaldiSystem(DelayPredictor):
+    """A Vivaldi embedding of one delay matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The measured delay matrix driving the simulation.
+    config:
+        Vivaldi parameters.
+    rng:
+        Seed or generator used for the initial coordinates, the neighbour
+        sampling and the per-step probe choices.
+    neighbors:
+        Optional explicit neighbour lists (``neighbors[i]`` is a sequence of
+        node indices node ``i`` probes).  Defaults to
+        ``config.n_neighbors`` random distinct neighbours per node.  The
+        dynamic-neighbour Vivaldi of §5.2 swaps these lists between
+        iterations via :meth:`set_neighbors`.
+    """
+
+    def __init__(
+        self,
+        matrix: DelayMatrix,
+        config: VivaldiConfig | None = None,
+        *,
+        rng: RngLike = None,
+        neighbors: Optional[Sequence[Sequence[int]]] = None,
+    ):
+        self._matrix = matrix
+        self._config = config if config is not None else VivaldiConfig()
+        self._rng = ensure_rng(rng)
+        n = matrix.n_nodes
+
+        # Small random initial coordinates break the symmetry of starting
+        # everyone at the origin.
+        self._coords = self._rng.normal(0.0, 1.0, size=(n, self._config.dimension))
+        self._errors = np.full(n, self._config.initial_error)
+        self._delays = matrix.to_array()
+        self._time = 0.0
+        self._last_movement = np.zeros(n)
+
+        if neighbors is None:
+            self._neighbors = self._sample_neighbors()
+        else:
+            self.set_neighbors(neighbors)
+
+    # -- configuration and state accessors -----------------------------------
+
+    @property
+    def matrix(self) -> DelayMatrix:
+        """The measured delay matrix the embedding is fitted to."""
+        return self._matrix
+
+    @property
+    def config(self) -> VivaldiConfig:
+        """The Vivaldi parameters in use."""
+        return self._config
+
+    @property
+    def n_nodes(self) -> int:
+        return self._matrix.n_nodes
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """Current node coordinates, shape ``(n_nodes, dimension)`` (copy)."""
+        return self._coords.copy()
+
+    @property
+    def errors(self) -> np.ndarray:
+        """Current per-node relative error estimates (copy)."""
+        return self._errors.copy()
+
+    @property
+    def simulation_time(self) -> float:
+        """Simulated seconds elapsed so far."""
+        return self._time
+
+    @property
+    def neighbors(self) -> list[list[int]]:
+        """Current probing-neighbour lists (copies)."""
+        return [list(nbrs) for nbrs in self._neighbors]
+
+    def set_neighbors(self, neighbors: Sequence[Sequence[int]]) -> None:
+        """Replace the probing-neighbour lists.
+
+        Each node must have at least one neighbour, all indices must be valid
+        and no node may list itself.
+        """
+        n = self.n_nodes
+        if len(neighbors) != n:
+            raise EmbeddingError(f"expected {n} neighbour lists, got {len(neighbors)}")
+        cleaned: list[list[int]] = []
+        for i, nbrs in enumerate(neighbors):
+            lst = [int(j) for j in nbrs]
+            if not lst:
+                raise EmbeddingError(f"node {i} has an empty neighbour list")
+            for j in lst:
+                if not 0 <= j < n:
+                    raise EmbeddingError(f"node {i} has an out-of-range neighbour {j}")
+                if j == i:
+                    raise EmbeddingError(f"node {i} cannot be its own neighbour")
+            cleaned.append(lst)
+        self._neighbors = cleaned
+
+    def _sample_neighbors(self) -> list[list[int]]:
+        n = self.n_nodes
+        k = min(self._config.n_neighbors, n - 1)
+        neighbors: list[list[int]] = []
+        for i in range(n):
+            pool = np.delete(np.arange(n), i)
+            chosen = self._rng.choice(pool, size=k, replace=False)
+            neighbors.append([int(j) for j in chosen])
+        return neighbors
+
+    # -- spring-relaxation dynamics -------------------------------------------
+
+    def _probe(self, i: int, j: int) -> None:
+        """Apply one Vivaldi update at node ``i`` after probing node ``j``."""
+        rtt = self._delays[i, j]
+        if not np.isfinite(rtt) or rtt <= 0:
+            return
+        diff = self._coords[i] - self._coords[j]
+        dist = float(np.linalg.norm(diff))
+        if dist > 0:
+            direction = diff / dist
+        else:
+            # Coincident coordinates: pick a random push direction.
+            direction = self._rng.normal(size=self._config.dimension)
+            direction /= np.linalg.norm(direction)
+
+        e_i = max(self._errors[i], self._config.min_error)
+        e_j = max(self._errors[j], self._config.min_error)
+        w = e_i / (e_i + e_j)
+        relative_error = abs(dist - rtt) / rtt
+
+        ce_w = self._config.ce * w
+        self._errors[i] = relative_error * ce_w + self._errors[i] * (1.0 - ce_w)
+
+        delta = self._config.cc * w
+        movement = delta * (rtt - dist)
+        self._coords[i] = self._coords[i] + movement * direction
+        self._last_movement[i] += abs(movement)
+
+    def step(self) -> np.ndarray:
+        """Advance the simulation by one second.
+
+        Every node performs ``probes_per_node_per_second`` probes to
+        uniformly random members of its neighbour list.  Returns the
+        per-node coordinate movement magnitude accumulated during the step
+        (the paper's "movement speed per step").
+        """
+        self._last_movement = np.zeros(self.n_nodes)
+        for _ in range(self._config.probes_per_node_per_second):
+            for i in range(self.n_nodes):
+                nbrs = self._neighbors[i]
+                j = nbrs[int(self._rng.integers(0, len(nbrs)))]
+                self._probe(i, j)
+        self._time += 1.0
+        return self._last_movement.copy()
+
+    def run(self, seconds: int) -> None:
+        """Run the simulation for ``seconds`` simulated seconds."""
+        if seconds < 0:
+            raise EmbeddingError("seconds must be non-negative")
+        for _ in range(int(seconds)):
+            self.step()
+
+    # -- prediction interface -------------------------------------------------
+
+    def predict(self, i: int, j: int) -> float:
+        """Predicted delay: Euclidean distance between the two coordinates."""
+        if i == j:
+            return 0.0
+        return float(np.linalg.norm(self._coords[i] - self._coords[j]))
+
+    def predicted_matrix(self) -> np.ndarray:
+        diffs = self._coords[:, None, :] - self._coords[None, :, :]
+        distances = np.sqrt(np.sum(diffs * diffs, axis=-1))
+        np.fill_diagonal(distances, 0.0)
+        return distances
+
+    def prediction_ratio_matrix(self) -> np.ndarray:
+        """Predicted / measured delay for every measured edge (else ``nan``)."""
+        return self.prediction_ratios(self._delays)
+
+
+def embed_vivaldi(
+    matrix: DelayMatrix,
+    *,
+    config: VivaldiConfig | None = None,
+    seconds: int = 100,
+    rng: RngLike = None,
+    neighbors: Optional[Sequence[Sequence[int]]] = None,
+) -> VivaldiSystem:
+    """Convenience helper: build a :class:`VivaldiSystem` and run it.
+
+    Parameters
+    ----------
+    matrix:
+        The delay matrix to embed.
+    config:
+        Vivaldi parameters (defaults match the paper).
+    seconds:
+        Simulated seconds to run (the paper converges its runs for 100 s).
+    rng:
+        Seed or generator.
+    neighbors:
+        Optional explicit neighbour lists.
+    """
+    system = VivaldiSystem(matrix, config, rng=rng, neighbors=neighbors)
+    system.run(seconds)
+    return system

@@ -1,0 +1,41 @@
+"""The paper's contribution: TIV awareness for distributed systems.
+
+* :mod:`repro.core.alert` — the TIV alert mechanism (§5.1): edges whose
+  embedding prediction ratio falls below a threshold are flagged as likely
+  to cause severe TIVs; includes the accuracy/recall evaluation of
+  Figs. 20–21 and the severity-vs-ratio analysis of Fig. 19.
+* :mod:`repro.core.dynamic_vivaldi` — dynamic-neighbour Vivaldi (§5.2):
+  iterative neighbour-set refinement driven by the alert.
+* :mod:`repro.core.tiv_aware_meridian` — TIV-aware Meridian (§5.3):
+  alert-driven double ring placement and query restart.
+"""
+
+from repro.core.alert import (
+    AlertEvaluation,
+    TIVAlert,
+    severity_vs_prediction_ratio,
+)
+from repro.core.dynamic_vivaldi import (
+    DynamicVivaldiConfig,
+    DynamicVivaldiIteration,
+    DynamicNeighborVivaldi,
+)
+from repro.core.tiv_aware_meridian import (
+    TIVAwareMeridianConfig,
+    build_tiv_aware_overlay,
+    tiv_aware_membership_adjuster,
+    tiv_aware_restart_policy,
+)
+
+__all__ = [
+    "TIVAlert",
+    "AlertEvaluation",
+    "severity_vs_prediction_ratio",
+    "DynamicVivaldiConfig",
+    "DynamicVivaldiIteration",
+    "DynamicNeighborVivaldi",
+    "TIVAwareMeridianConfig",
+    "tiv_aware_membership_adjuster",
+    "tiv_aware_restart_policy",
+    "build_tiv_aware_overlay",
+]

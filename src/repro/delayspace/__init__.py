@@ -1,0 +1,44 @@
+"""Internet delay-space substrate.
+
+The paper's analysis operates on measured N×N round-trip delay matrices
+(DS², p2psim, Meridian and PlanetLab data sets).  Those matrices are not
+redistributable, so this package provides:
+
+* :class:`repro.delayspace.matrix.DelayMatrix` — the delay-matrix container
+  every other subsystem consumes;
+* :mod:`repro.delayspace.synthetic` — clustered Internet-like synthetic
+  delay-space generators with an explicit routing-inefficiency model that
+  injects triangle inequality violations;
+* :mod:`repro.delayspace.datasets` — named presets approximating the four
+  data sets used in the paper;
+* :mod:`repro.delayspace.clustering` — major-cluster classification used by
+  the Fig. 3 / Fig. 8 analyses;
+* :mod:`repro.delayspace.shortest_path` — all-pairs shortest detour paths
+  over the delay graph;
+* :mod:`repro.delayspace.io` — load/save support for matrices.
+"""
+
+from repro.delayspace.clustering import ClusterAssignment, classify_major_clusters
+from repro.delayspace.datasets import available_datasets, load_dataset
+from repro.delayspace.matrix import DelayMatrix
+from repro.delayspace.shortest_path import detour_gains, shortest_path_matrix
+from repro.delayspace.synthetic import (
+    ClusterSpec,
+    SyntheticSpaceConfig,
+    euclidean_delay_space,
+    clustered_delay_space,
+)
+
+__all__ = [
+    "DelayMatrix",
+    "ClusterSpec",
+    "SyntheticSpaceConfig",
+    "euclidean_delay_space",
+    "clustered_delay_space",
+    "available_datasets",
+    "load_dataset",
+    "ClusterAssignment",
+    "classify_major_clusters",
+    "shortest_path_matrix",
+    "detour_gains",
+]

@@ -1,0 +1,211 @@
+"""Named synthetic presets approximating the paper's four data sets.
+
+The paper analyses four measured delay matrices:
+
+* DS² (4000 nodes)
+* Meridian (2500 nodes)
+* p2psim / King (1740 nodes)
+* PlanetLab (229 nodes, collected by the authors)
+
+None of these is redistributable here, so :func:`load_dataset` returns a
+synthetic matrix from :mod:`repro.delayspace.synthetic` whose node count and
+TIV character approximate the corresponding measured data.  Node counts are
+scaled down by default (``scale`` parameter) so the full experiment harness
+runs quickly; pass ``scale=1.0`` for paper-scale matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.delayspace.synthetic import (
+    ClusterSpec,
+    SyntheticSpaceConfig,
+    clustered_delay_space,
+    euclidean_delay_space,
+)
+from repro.errors import DatasetError
+from repro.stats.rng import RngLike
+
+
+@dataclass(frozen=True)
+class DatasetPreset:
+    """A named synthetic dataset preset.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier (e.g. ``"ds2_like"``).
+    paper_nodes:
+        Node count of the measured data set in the paper.
+    default_nodes:
+        Scaled-down default node count used by this reproduction.
+    description:
+        One-line description of which measured data set this approximates.
+    config:
+        Synthetic-space configuration (node count overridden at load time).
+    euclidean:
+        If True the preset is the TIV-free Euclidean baseline.
+    """
+
+    name: str
+    paper_nodes: int
+    default_nodes: int
+    description: str
+    config: Optional[SyntheticSpaceConfig] = None
+    euclidean: bool = False
+
+
+_PRESETS: dict[str, DatasetPreset] = {}
+
+
+def _register(preset: DatasetPreset) -> None:
+    _PRESETS[preset.name] = preset
+
+
+_register(
+    DatasetPreset(
+        name="ds2_like",
+        paper_nodes=4000,
+        default_nodes=400,
+        description="Approximates the DS2 4000-node matrix (3 continental clusters, moderate TIV tail)",
+        config=SyntheticSpaceConfig(
+            tiv_edge_fraction=0.14,
+            inflation_shape=2.2,
+            inflation_scale=0.9,
+        ),
+    )
+)
+
+_register(
+    DatasetPreset(
+        name="meridian_like",
+        paper_nodes=2500,
+        default_nodes=320,
+        description="Approximates the Meridian 2500-node matrix (heavier TIV tail, more noise nodes)",
+        config=SyntheticSpaceConfig(
+            clusters=(
+                ClusterSpec("north-america", 0.40, (0.0, 0.0), 24.0),
+                ClusterSpec("europe", 0.32, (85.0, 12.0), 20.0),
+                ClusterSpec("asia", 0.16, (175.0, 75.0), 28.0),
+            ),
+            tiv_edge_fraction=0.30,
+            inflation_shape=1.9,
+            inflation_scale=1.1,
+            max_inflation=8.0,
+        ),
+    )
+)
+
+_register(
+    DatasetPreset(
+        name="p2psim_like",
+        paper_nodes=1740,
+        default_nodes=280,
+        description="Approximates the p2psim/King 1740-node matrix (milder TIV tail)",
+        config=SyntheticSpaceConfig(
+            tiv_edge_fraction=0.15,
+            inflation_shape=2.8,
+            inflation_scale=0.7,
+            max_inflation=4.0,
+        ),
+    )
+)
+
+_register(
+    DatasetPreset(
+        name="planetlab_like",
+        paper_nodes=229,
+        default_nodes=160,
+        description="Approximates the authors' 229-node PlanetLab matrix (small, research networks, notable TIVs)",
+        config=SyntheticSpaceConfig(
+            clusters=(
+                ClusterSpec("north-america", 0.50, (0.0, 0.0), 20.0),
+                ClusterSpec("europe", 0.30, (82.0, 8.0), 16.0),
+                ClusterSpec("asia", 0.12, (165.0, 65.0), 22.0),
+            ),
+            tiv_edge_fraction=0.25,
+            inflation_shape=2.0,
+            inflation_scale=1.0,
+        ),
+    )
+)
+
+_register(
+    DatasetPreset(
+        name="euclidean_like",
+        paper_nodes=4000,
+        default_nodes=400,
+        description=(
+            "Artificial TIV-free matrix (Fig. 14 baseline): same clustered "
+            "geometry as ds2_like but with routing-detour inflation and "
+            "measurement jitter disabled, so the triangle inequality holds"
+        ),
+        config=SyntheticSpaceConfig(tiv_edge_fraction=0.0, jitter_fraction=0.0),
+    )
+)
+
+_register(
+    DatasetPreset(
+        name="uniform_euclidean",
+        paper_nodes=4000,
+        default_nodes=400,
+        description="Uniform random points in a 5-D hypercube (pure Euclidean distances)",
+        euclidean=True,
+    )
+)
+
+
+def available_datasets() -> tuple[str, ...]:
+    """Return the names of all registered dataset presets."""
+    return tuple(sorted(_PRESETS))
+
+
+def get_preset(name: str) -> DatasetPreset:
+    """Return the preset registered under ``name``."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    *,
+    n_nodes: Optional[int] = None,
+    rng: RngLike = 0,
+    return_clusters: bool = False,
+) -> DelayMatrix | tuple[DelayMatrix, np.ndarray]:
+    """Generate the synthetic matrix for the named preset.
+
+    Parameters
+    ----------
+    name:
+        Preset name; see :func:`available_datasets`.
+    n_nodes:
+        Override the preset's default node count (pass the ``paper_nodes``
+        value for a paper-scale matrix).
+    rng:
+        Seed or generator.  Defaults to ``0`` so repeated loads of the same
+        preset yield the same matrix unless the caller asks otherwise.
+    return_clusters:
+        If True (and the preset is not Euclidean), also return the
+        ground-truth cluster assignment.
+    """
+    preset = get_preset(name)
+    count = int(n_nodes) if n_nodes is not None else preset.default_nodes
+    if count < 4:
+        raise DatasetError("datasets need at least 4 nodes")
+    if preset.euclidean:
+        matrix = euclidean_delay_space(count, rng=rng)
+        if return_clusters:
+            return matrix, np.zeros(count, dtype=int)
+        return matrix
+    config = replace(preset.config, n_nodes=count)
+    return clustered_delay_space(config, rng=rng, return_clusters=return_clusters)

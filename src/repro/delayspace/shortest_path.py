@@ -1,0 +1,73 @@
+"""Shortest detour paths over the delay graph.
+
+Figure 8 of the paper relates the direct delay of an edge to the length of
+the shortest path between its endpoints through the delay graph: edges whose
+shortest alternative path is much shorter than the direct delay are exactly
+the edges that cause severe triangle inequality violations.
+
+The computation treats the delay matrix as a dense weighted graph and runs
+all-pairs shortest paths (SciPy's C implementation), so it scales to the
+matrix sizes used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import DelayMatrixError
+
+
+def shortest_path_matrix(matrix: DelayMatrix, *, method: str = "auto") -> np.ndarray:
+    """Return the all-pairs shortest-path delay matrix.
+
+    Missing edges are treated as absent (infinite direct delay); if the
+    graph is disconnected the corresponding entries are ``inf``.
+
+    Parameters
+    ----------
+    matrix:
+        The delay matrix.
+    method:
+        Passed through to :func:`scipy.sparse.csgraph.shortest_path`
+        (``"auto"``, ``"FW"``, ``"D"``...).
+    """
+    delays = matrix.to_array()
+    graph = np.where(np.isfinite(delays), delays, 0.0)
+    dist = _csgraph_shortest_path(graph, method=method, directed=False)
+    return np.asarray(dist, dtype=float)
+
+
+def detour_gains(matrix: DelayMatrix, shortest: np.ndarray | None = None) -> np.ndarray:
+    """Return per-edge detour gain ``direct_delay / shortest_path_delay``.
+
+    A gain greater than one means a strictly shorter multi-hop path exists,
+    i.e. the edge participates in at least one triangle inequality violation
+    (possibly via multi-edge detours).  Only measured undirected edges are
+    reported, in upper-triangle order.
+    """
+    if shortest is None:
+        shortest = shortest_path_matrix(matrix)
+    if shortest.shape != (matrix.n_nodes, matrix.n_nodes):
+        raise DelayMatrixError("shortest-path matrix shape does not match the delay matrix")
+    rows, cols = matrix.edge_index_pairs()
+    direct = matrix.values[rows, cols]
+    alt = shortest[rows, cols]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gains = np.where(alt > 0, direct / alt, 1.0)
+    return np.asarray(gains, dtype=float)
+
+
+def shortest_path_lengths_for_edges(
+    matrix: DelayMatrix, shortest: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(edge_delays, shortest_path_delays)`` for all measured edges.
+
+    This is the raw material of the bottom panel of Fig. 8: the distribution
+    of shortest-path lengths for edges grouped by their direct delay.
+    """
+    if shortest is None:
+        shortest = shortest_path_matrix(matrix)
+    rows, cols = matrix.edge_index_pairs()
+    return matrix.values[rows, cols].astype(float), shortest[rows, cols].astype(float)

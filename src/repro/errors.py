@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DelayMatrixError(ReproError):
+    """Raised when a delay matrix is malformed or an operation on it is invalid.
+
+    Examples include non-square input, negative delays, or indexing a node
+    that does not exist.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a named synthetic dataset preset cannot be resolved."""
+
+
+class ClusteringError(ReproError):
+    """Raised when delay-space clustering fails or receives invalid parameters."""
+
+
+class EmbeddingError(ReproError):
+    """Raised by coordinate systems (Vivaldi, IDES, LAT) on invalid input or state."""
+
+
+class MeridianError(ReproError):
+    """Raised by the Meridian overlay for invalid configuration or queries."""
+
+
+class NeighborSelectionError(ReproError):
+    """Raised by the neighbour-selection experiment harness."""
+
+
+class AlertError(ReproError):
+    """Raised by the TIV alert mechanism for invalid thresholds or inputs."""
+
+
+class ExperimentError(ReproError):
+    """Raised by experiment runners when a figure reproduction cannot be set up."""
+
+
+class ConfigError(ReproError):
+    """Raised when an experiment or system configuration is inconsistent."""

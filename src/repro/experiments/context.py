@@ -1,0 +1,107 @@
+"""Lazily cached shared artefacts for the experiment runners.
+
+Several figures need the same expensive intermediates — the DS²-like delay
+matrix, its TIV severities, a converged Vivaldi embedding, and the TIV alert
+built from that embedding.  :class:`ExperimentContext` computes each of them
+at most once per configuration so a sequence of runners (or a benchmark
+session) does not repeat the work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.alert import TIVAlert
+from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+from repro.delayspace.clustering import ClusterAssignment, classify_major_clusters
+from repro.delayspace.datasets import load_dataset
+from repro.delayspace.matrix import DelayMatrix
+from repro.experiments.config import ExperimentConfig
+from repro.neighbor.selection import CoordinateSelectionExperiment
+from repro.tiv.severity import TIVSeverityResult, compute_tiv_severity
+
+
+class ExperimentContext:
+    """Shared, lazily computed artefacts for one :class:`ExperimentConfig`.
+
+    Parameters
+    ----------
+    config:
+        The experiment configuration; defaults to the scaled-down defaults.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config if config is not None else ExperimentConfig()
+        self._matrix: Optional[DelayMatrix] = None
+        self._clusters: Optional[np.ndarray] = None
+        self._cluster_assignment: Optional[ClusterAssignment] = None
+        self._severity: Optional[TIVSeverityResult] = None
+        self._vivaldi: Optional[VivaldiSystem] = None
+        self._alert: Optional[TIVAlert] = None
+
+    # -- substrate -------------------------------------------------------------
+
+    @property
+    def matrix(self) -> DelayMatrix:
+        """The synthetic delay matrix for ``config.dataset``."""
+        if self._matrix is None:
+            self._matrix, self._clusters = load_dataset(
+                self.config.dataset,
+                n_nodes=self.config.n_nodes,
+                rng=self.config.seed,
+                return_clusters=True,
+            )
+        return self._matrix
+
+    @property
+    def ground_truth_clusters(self) -> np.ndarray:
+        """Ground-truth cluster labels of the synthetic matrix."""
+        _ = self.matrix
+        return self._clusters
+
+    @property
+    def cluster_assignment(self) -> ClusterAssignment:
+        """Clusters recovered by the paper's clustering procedure."""
+        if self._cluster_assignment is None:
+            self._cluster_assignment = classify_major_clusters(self.matrix)
+        return self._cluster_assignment
+
+    # -- analysis --------------------------------------------------------------
+
+    @property
+    def severity(self) -> TIVSeverityResult:
+        """TIV severities of the matrix."""
+        if self._severity is None:
+            self._severity = compute_tiv_severity(self.matrix)
+        return self._severity
+
+    @property
+    def vivaldi(self) -> VivaldiSystem:
+        """A Vivaldi embedding converged for ``config.vivaldi_seconds``."""
+        if self._vivaldi is None:
+            system = VivaldiSystem(
+                self.matrix, VivaldiConfig(), rng=self.config.seed + 1
+            )
+            system.run(self.config.vivaldi_seconds)
+            self._vivaldi = system
+        return self._vivaldi
+
+    @property
+    def alert(self) -> TIVAlert:
+        """The TIV alert built from the converged Vivaldi embedding."""
+        if self._alert is None:
+            self._alert = TIVAlert(self.matrix, self.vivaldi)
+        return self._alert
+
+    # -- harness helpers -------------------------------------------------------
+
+    def selection_experiment(self) -> CoordinateSelectionExperiment:
+        """A §4.1 coordinate-selection experiment bound to this context."""
+        return CoordinateSelectionExperiment(
+            self.matrix,
+            n_candidates=self.config.n_candidates,
+            n_runs=self.config.selection_runs,
+            rng=self.config.seed + 2,
+        )

@@ -1,0 +1,92 @@
+"""Registry of all experiment runners, keyed by figure id."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import ExperimentError
+from repro.experiments.alert_figures import (
+    fig19_severity_vs_ratio,
+    fig20_alert_accuracy,
+    fig21_alert_recall,
+    fig22_23_dynamic_neighbor,
+    fig24_meridian_alert_normal,
+    fig25_meridian_alert_small,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.meridian_figures import fig13_ring_misplacement, fig14_meridian_ideal
+from repro.experiments.result import ExperimentResult
+from repro.experiments.strawman_figures import (
+    fig15_ides,
+    fig16_lat,
+    fig17_vivaldi_filter,
+    fig18_meridian_filter,
+)
+from repro.experiments.tiv_figures import (
+    fig02_severity_cdf,
+    fig03_cluster_matrix,
+    fig04_07_severity_vs_delay,
+    fig08_shortest_path,
+    fig09_proximity,
+)
+from repro.experiments.vivaldi_figures import (
+    fig10_three_node_trace,
+    fig11_oscillation,
+    text_vivaldi_error_stats,
+)
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, Runner] = {
+    "fig02": fig02_severity_cdf,
+    "fig03": fig03_cluster_matrix,
+    "fig04_07": fig04_07_severity_vs_delay,
+    "fig08": fig08_shortest_path,
+    "fig09": fig09_proximity,
+    "fig10": fig10_three_node_trace,
+    "fig11": fig11_oscillation,
+    "text_3_2_1": text_vivaldi_error_stats,
+    "fig13": fig13_ring_misplacement,
+    "fig14": fig14_meridian_ideal,
+    "fig15": fig15_ides,
+    "fig16": fig16_lat,
+    "fig17": fig17_vivaldi_filter,
+    "fig18": fig18_meridian_filter,
+    "fig19": fig19_severity_vs_ratio,
+    "fig20": fig20_alert_accuracy,
+    "fig21": fig21_alert_recall,
+    "fig22_23": fig22_23_dynamic_neighbor,
+    "fig24": fig24_meridian_alert_normal,
+    "fig25": fig25_meridian_alert_small,
+}
+
+
+def list_experiments() -> tuple[str, ...]:
+    """Return the identifiers of all registered experiments."""
+    return tuple(_REGISTRY)
+
+
+def run_experiment(
+    experiment_id: str, config: ExperimentConfig | None = None, **kwargs
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig20"``)."""
+    try:
+        runner = _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+    return runner(config, **kwargs)
+
+
+def run_all_experiments(
+    config: ExperimentConfig | None = None,
+    *,
+    only: Iterable[str] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment (or the subset in ``only``)."""
+    wanted = list(only) if only is not None else list(_REGISTRY)
+    results: dict[str, ExperimentResult] = {}
+    for experiment_id in wanted:
+        results[experiment_id] = run_experiment(experiment_id, config)
+    return results

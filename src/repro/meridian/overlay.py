@@ -1,0 +1,352 @@
+"""Meridian overlay construction and the recursive closest-neighbour query.
+
+The overlay is built from a delay matrix and a set of node indices that act
+as Meridian nodes; the remaining indices are clients/targets.  Delay lookups
+into the matrix stand in for the network measurements a real deployment
+would perform; every such lookup made *during a query* is counted as an
+on-demand probe so probing overhead can be compared across variants (the
+paper quotes the TIV-aware mechanisms' extra probing as ~5–6 %).
+
+Two hooks make the §4.3 and §5.3 variants expressible without subclassing:
+
+* ``excluded_edges`` — edges that must not be used for ring membership
+  (the naive TIV-severity filter strawman);
+* ``membership_adjuster`` / ``restart_policy`` — the TIV-alert-driven ring
+  adjustment and query-restart policies (see
+  :mod:`repro.core.tiv_aware_meridian`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import MeridianError
+from repro.meridian.node import MembershipAdjuster, MeridianNode
+from repro.meridian.rings import MeridianConfig
+from repro.stats.rng import RngLike, ensure_rng
+
+# A restart policy is consulted when the recursive query is about to
+# terminate at ``current`` for ``target`` (measured delay ``d``).  It may
+# return an alternative set of members of ``current`` to probe (the §5.3
+# restart uses the predicted delay to pick them), or None to accept
+# termination.
+RestartPolicy = Callable[["MeridianOverlay", int, int, float], Optional[Sequence[int]]]
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one closest-neighbour query.
+
+    Attributes
+    ----------
+    target:
+        The target node the client asked about.
+    selected:
+        The Meridian node returned as the closest neighbour.
+    selected_delay:
+        Measured delay between ``selected`` and ``target`` (ms).
+    optimal:
+        The true closest Meridian node to the target.
+    optimal_delay:
+        Its measured delay to the target (ms).
+    probes:
+        Number of on-demand delay measurements performed during the query.
+    hops:
+        The sequence of Meridian nodes the query visited.
+    restarted:
+        Whether a restart policy re-opened the search at least once.
+    """
+
+    target: int
+    selected: int
+    selected_delay: float
+    optimal: int
+    optimal_delay: float
+    probes: int
+    hops: list[int] = field(default_factory=list)
+    restarted: bool = False
+
+    @property
+    def percentage_penalty(self) -> float:
+        """Percentage penalty of the selection versus the optimal choice.
+
+        Defined in §4.1 as ``(delay_to_selected - delay_to_optimal) * 100 /
+        delay_to_optimal``.  Zero means the query found the true closest
+        neighbour.
+        """
+        if self.optimal_delay <= 0:
+            return 0.0 if self.selected == self.optimal else float("inf")
+        return (self.selected_delay - self.optimal_delay) * 100.0 / self.optimal_delay
+
+    @property
+    def found_optimal(self) -> bool:
+        """True when the query returned the true closest Meridian node."""
+        return self.selected == self.optimal or self.selected_delay <= self.optimal_delay
+
+
+class MeridianOverlay:
+    """A Meridian overlay over a delay matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The delay matrix standing in for the network.
+    meridian_nodes:
+        Indices of the nodes that participate as Meridian nodes.
+    config:
+        Ring and query parameters.
+    rng:
+        Seed or generator used for member sampling and random start nodes.
+    full_membership:
+        If True every Meridian node uses *all* other Meridian nodes as ring
+        candidates (the idealised §3.2.2 setting).  Otherwise each node
+        samples ``membership_sample_size`` candidates.
+    membership_sample_size:
+        Number of candidate members each node considers when
+        ``full_membership`` is False.  Defaults to ``k * n_rings`` (enough
+        to fill every ring).
+    excluded_edges:
+        Set of ``(i, j)`` pairs (in any order) that must not be used for
+        ring membership — the §4.3 severity-filter strawman.
+    membership_adjuster:
+        Optional TIV-aware double-placement hook (§5.3 ring construction).
+    """
+
+    def __init__(
+        self,
+        matrix: DelayMatrix,
+        meridian_nodes: Sequence[int],
+        config: MeridianConfig | None = None,
+        *,
+        rng: RngLike = None,
+        full_membership: bool = False,
+        membership_sample_size: Optional[int] = None,
+        excluded_edges: Optional[Iterable[tuple[int, int]]] = None,
+        membership_adjuster: MembershipAdjuster | None = None,
+    ):
+        self._matrix = matrix
+        self._delays = matrix.values
+        self._config = config if config is not None else MeridianConfig()
+        self._rng = ensure_rng(rng)
+
+        ids = [int(i) for i in meridian_nodes]
+        if len(ids) < 2:
+            raise MeridianError("a Meridian overlay needs at least 2 Meridian nodes")
+        if len(set(ids)) != len(ids):
+            raise MeridianError("meridian_nodes contains duplicates")
+        for i in ids:
+            if not 0 <= i < matrix.n_nodes:
+                raise MeridianError(f"meridian node {i} is not in the delay matrix")
+        self._meridian_ids = ids
+        self._meridian_set = set(ids)
+
+        self._excluded: set[frozenset[int]] = set()
+        if excluded_edges:
+            for a, b in excluded_edges:
+                self._excluded.add(frozenset((int(a), int(b))))
+
+        self._nodes: dict[int, MeridianNode] = {}
+        self._build(full_membership, membership_sample_size, membership_adjuster)
+
+    # -- construction ---------------------------------------------------------
+
+    def _usable(self, a: int, b: int) -> bool:
+        if self._excluded and frozenset((a, b)) in self._excluded:
+            return False
+        return bool(np.isfinite(self._delays[a, b]))
+
+    def _build(
+        self,
+        full_membership: bool,
+        sample_size: Optional[int],
+        adjuster: MembershipAdjuster | None,
+    ) -> None:
+        config = self._config
+        if sample_size is None:
+            sample_size = config.k * config.n_rings
+        for node_id in self._meridian_ids:
+            node = MeridianNode(node_id, config)
+            others = [m for m in self._meridian_ids if m != node_id]
+            if full_membership or len(others) <= sample_size:
+                candidates = others
+            else:
+                chosen = self._rng.choice(len(others), size=sample_size, replace=False)
+                candidates = [others[int(c)] for c in chosen]
+            for member in candidates:
+                if not self._usable(node_id, member):
+                    continue
+                node.add_member(member, float(self._delays[node_id, member]), adjuster=adjuster)
+            self._nodes[node_id] = node
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def matrix(self) -> DelayMatrix:
+        """The delay matrix backing the overlay."""
+        return self._matrix
+
+    @property
+    def config(self) -> MeridianConfig:
+        """The overlay's configuration."""
+        return self._config
+
+    @property
+    def meridian_ids(self) -> list[int]:
+        """Indices of the Meridian nodes."""
+        return list(self._meridian_ids)
+
+    def node(self, node_id: int) -> MeridianNode:
+        """Return the :class:`MeridianNode` with the given id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise MeridianError(f"{node_id} is not a Meridian node") from None
+
+    def ring_occupancy(self) -> dict[int, list[int]]:
+        """Per-node ring occupancy counts (used to study under-population)."""
+        return {nid: node.rings.occupancy() for nid, node in self._nodes.items()}
+
+    def true_closest(self, target: int) -> tuple[int, float]:
+        """Ground-truth closest Meridian node to ``target`` and its delay."""
+        best_node, best_delay = -1, np.inf
+        for node_id in self._meridian_ids:
+            if node_id == target:
+                continue
+            d = self._delays[node_id, target]
+            if np.isfinite(d) and d < best_delay:
+                best_node, best_delay = node_id, float(d)
+        if best_node < 0:
+            raise MeridianError(f"no Meridian node has a measured delay to target {target}")
+        return best_node, best_delay
+
+    # -- the recursive query ---------------------------------------------------
+
+    def _measured(self, a: int, b: int) -> float:
+        d = self._delays[a, b]
+        return float(d) if np.isfinite(d) else np.inf
+
+    def closest_neighbor_query(
+        self,
+        target: int,
+        *,
+        start_node: Optional[int] = None,
+        restart_policy: RestartPolicy | None = None,
+        max_hops: int = 64,
+    ) -> QueryResult:
+        """Run one recursive closest-neighbour query for ``target``.
+
+        Parameters
+        ----------
+        target:
+            Index of the target node (usually a client, i.e. not a Meridian
+            node, although Meridian targets are allowed).
+        start_node:
+            Meridian node that receives the request; a random one is chosen
+            when omitted (as the paper's clients do).
+        restart_policy:
+            Optional §5.3 restart hook consulted when the query is about to
+            terminate.
+        max_hops:
+            Safety bound on the number of forwarding steps.
+        """
+        if not 0 <= target < self._matrix.n_nodes:
+            raise MeridianError(f"target {target} is not in the delay matrix")
+        if start_node is None:
+            start_node = self._meridian_ids[int(self._rng.integers(0, len(self._meridian_ids)))]
+        elif start_node not in self._meridian_set:
+            raise MeridianError(f"start node {start_node} is not a Meridian node")
+
+        config = self._config
+        probes = 0
+        hops = [start_node]
+        restarted = False
+
+        current = start_node
+        current_delay = self._measured(current, target)
+        probes += 1
+
+        best_node, best_delay = current, current_delay
+        probed_delay: dict[int, float] = {current: current_delay}
+
+        for _ in range(max_hops):
+            node = self._nodes[current]
+            candidates = node.eligible_members(current_delay)
+            candidate_delays: dict[int, float] = {}
+            for member in candidates:
+                if member == target:
+                    # The target itself may be a Meridian ring member; its
+                    # delay to itself is zero and it is trivially closest.
+                    candidate_delays[member] = 0.0
+                    continue
+                if member in probed_delay:
+                    candidate_delays[member] = probed_delay[member]
+                    continue
+                d = self._measured(member, target)
+                probes += 1
+                probed_delay[member] = d
+                candidate_delays[member] = d
+
+            next_node: Optional[int] = None
+            if candidate_delays:
+                closest_member = min(candidate_delays, key=candidate_delays.get)
+                closest_delay = candidate_delays[closest_member]
+                if closest_delay < best_delay:
+                    best_node, best_delay = closest_member, closest_delay
+                if config.use_termination:
+                    advance = closest_delay <= config.beta * current_delay
+                else:
+                    advance = closest_delay < current_delay
+                if advance and closest_member != current:
+                    next_node = closest_member
+
+            if next_node is None and restart_policy is not None:
+                alternates = restart_policy(self, current, target, current_delay)
+                if alternates:
+                    restarted = True
+                    alt_delays: dict[int, float] = {}
+                    for member in alternates:
+                        if member == current or member == target:
+                            continue
+                        if member in probed_delay:
+                            alt_delays[member] = probed_delay[member]
+                            continue
+                        d = self._measured(member, target)
+                        probes += 1
+                        probed_delay[member] = d
+                        alt_delays[member] = d
+                    if alt_delays:
+                        closest_member = min(alt_delays, key=alt_delays.get)
+                        closest_delay = alt_delays[closest_member]
+                        if closest_delay < best_delay:
+                            best_node, best_delay = closest_member, closest_delay
+                        if closest_delay < current_delay and closest_member != current:
+                            next_node = closest_member
+
+            if next_node is None:
+                break
+            current = next_node
+            current_delay = probed_delay[current]
+            hops.append(current)
+
+        # The query answers with the closest node it actually probed.
+        if best_node == target and len(probed_delay) > 1:
+            # Never return the target itself as its own closest neighbour.
+            others = {k: v for k, v in probed_delay.items() if k != target}
+            best_node = min(others, key=others.get)
+            best_delay = others[best_node]
+
+        optimal, optimal_delay = self.true_closest(target)
+        return QueryResult(
+            target=target,
+            selected=best_node,
+            selected_delay=float(best_delay),
+            optimal=optimal,
+            optimal_delay=float(optimal_delay),
+            probes=probes,
+            hops=hops,
+            restarted=restarted,
+        )

@@ -1,0 +1,211 @@
+"""Meridian ring geometry.
+
+Each Meridian node organises its members into concentric, non-overlapping
+rings.  The ``i``-th ring (1-based, as in the Meridian paper) has inner
+radius ``alpha * s**(i-1)`` and outer radius ``alpha * s**i``; the innermost
+ring additionally covers delays below ``alpha``.  A node keeps at most ``k``
+members per ring; the outermost ring is unbounded above so no member is ever
+dropped for being too far.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import MeridianError
+
+
+@dataclass(frozen=True)
+class MeridianConfig:
+    """Parameters of a Meridian overlay.
+
+    Attributes
+    ----------
+    alpha:
+        Radius of the innermost ring in milliseconds (paper: 1).
+    s:
+        Multiplicative ring growth factor (paper: 2).
+    n_rings:
+        Number of rings per node (paper: 11; with ``alpha=1, s=2`` the
+        outermost ring starts at ~1 s which covers all Internet RTTs).
+    k:
+        Maximum members kept per ring (paper: 16).
+    beta:
+        Acceptance threshold of the recursive query (paper: 0.5).  A hop's
+        ring members are asked to probe the target only if their delay to
+        the hop lies within ``[(1-beta)*d, (1+beta)*d]`` where ``d`` is the
+        hop's delay to the target, and the query terminates when no probed
+        member is closer than ``beta * d``.
+    use_termination:
+        If False, the β-based early termination is disabled (the "ideal
+        setting" of §3.2.2 / Fig. 14) and the query keeps forwarding while
+        any probed member improves on the current hop.
+    """
+
+    alpha: float = 1.0
+    s: float = 2.0
+    n_rings: int = 11
+    k: int = 16
+    beta: float = 0.5
+    use_termination: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise MeridianError("alpha must be positive")
+        if self.s <= 1:
+            raise MeridianError("ring growth factor s must be > 1")
+        if self.n_rings < 1:
+            raise MeridianError("n_rings must be >= 1")
+        if self.k < 1:
+            raise MeridianError("k must be >= 1")
+        if not 0 < self.beta < 1:
+            raise MeridianError("beta must lie in (0, 1)")
+
+
+def ring_index(delay: float, config: MeridianConfig) -> int:
+    """Return the 0-based ring index that a member at ``delay`` ms falls into.
+
+    Delays at or below ``alpha`` fall into ring 0; delays beyond the nominal
+    outermost radius are clamped into the last ring.
+    """
+    if delay < 0:
+        raise MeridianError(f"delay must be non-negative, got {delay}")
+    if delay <= config.alpha:
+        return 0
+    index = int(math.floor(math.log(delay / config.alpha, config.s))) + 1
+    return min(max(index, 0), config.n_rings - 1)
+
+
+def ring_bounds(index: int, config: MeridianConfig) -> tuple[float, float]:
+    """Return the ``(inner, outer)`` delay bounds of ring ``index`` (0-based).
+
+    Ring 0 spans ``[0, alpha]``; the last ring's outer bound is ``inf``.
+    """
+    if not 0 <= index < config.n_rings:
+        raise MeridianError(f"ring index {index} out of range")
+    if index == 0:
+        inner = 0.0
+    else:
+        inner = config.alpha * config.s ** (index - 1)
+    if index == config.n_rings - 1:
+        outer = math.inf
+    else:
+        outer = config.alpha * config.s ** index
+    return inner, outer
+
+
+class RingSet:
+    """The ring membership of a single Meridian node.
+
+    Members are stored per ring with their measured delays; at most ``k``
+    members are retained per ring (first-come, first-kept, matching the
+    paper's simple ring management — ring replacement policies are out of
+    scope for the reproduction).
+    """
+
+    def __init__(self, config: MeridianConfig):
+        self._config = config
+        self._rings: list[dict[int, float]] = [dict() for _ in range(config.n_rings)]
+        self._delays: dict[int, float] = {}
+
+    @property
+    def config(self) -> MeridianConfig:
+        """The ring geometry parameters."""
+        return self._config
+
+    def __len__(self) -> int:
+        return len(self._delays)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._delays
+
+    def add(self, member: int, delay: float, *, also_at_delay: float | None = None) -> bool:
+        """Try to add ``member`` measured at ``delay`` ms.
+
+        Parameters
+        ----------
+        member:
+            Node identifier of the member.
+        delay:
+            Measured delay from the ring owner to the member.
+        also_at_delay:
+            Optional second delay at which the member is *also* ring-placed.
+            This is the hook used by the TIV-aware ring construction of
+            §5.3: when the TIV alert fires for the owner-member edge, the
+            member is placed both by its measured delay and by its predicted
+            delay, so a TIV-shrunk edge cannot hide the member from queries.
+
+        Returns
+        -------
+        bool
+            True if the member was stored in at least one ring.
+
+        Notes
+        -----
+        Each ring records the *placement delay* used for that ring (the
+        measured delay normally, the predicted delay for a double
+        placement), so queries consulting a ring see the member at the delay
+        that put it there.  :meth:`member_delay` always reports the measured
+        delay.
+        """
+        if delay < 0 or not math.isfinite(delay):
+            raise MeridianError(f"invalid member delay {delay}")
+        placed = False
+        for d in ([delay] if also_at_delay is None else [delay, also_at_delay]):
+            idx = ring_index(d, self._config)
+            ring = self._rings[idx]
+            if member in ring:
+                placed = True
+                continue
+            if len(ring) < self._config.k:
+                ring[member] = d
+                placed = True
+        if placed:
+            self._delays[member] = delay
+        return placed
+
+    def member_delay(self, member: int) -> float:
+        """Measured delay to ``member``."""
+        try:
+            return self._delays[member]
+        except KeyError:
+            raise MeridianError(f"node {member} is not a ring member") from None
+
+    def members(self) -> list[int]:
+        """All distinct ring members."""
+        return list(self._delays)
+
+    def ring_members(self, index: int) -> dict[int, float]:
+        """Members of ring ``index`` with their delays (copy)."""
+        if not 0 <= index < self._config.n_rings:
+            raise MeridianError(f"ring index {index} out of range")
+        return dict(self._rings[index])
+
+    def ring_of(self, member: int) -> list[int]:
+        """Indices of the rings that contain ``member``."""
+        return [i for i, ring in enumerate(self._rings) if member in ring]
+
+    def members_within(self, low: float, high: float) -> list[int]:
+        """Members whose *placement* delay lies within ``[low, high]``.
+
+        Only rings that overlap the interval are inspected, mirroring how a
+        real Meridian node would consult its ring structure.  A member that
+        was double-placed (TIV-aware construction) is visible through either
+        of its placement delays.
+        """
+        if low > high:
+            return []
+        found: set[int] = set()
+        for idx in range(self._config.n_rings):
+            inner, outer = ring_bounds(idx, self._config)
+            if outer < low or inner > high:
+                continue
+            for member, delay in self._rings[idx].items():
+                if low <= delay <= high:
+                    found.add(member)
+        return sorted(found)
+
+    def occupancy(self) -> list[int]:
+        """Number of members stored in each ring."""
+        return [len(ring) for ring in self._rings]

@@ -1,0 +1,33 @@
+"""Closest-neighbour selection experiments.
+
+* :mod:`repro.neighbor.selection` — the §4.1 experiment methodology:
+  percentage-penalty metric, candidate/client splits, coordinate-driven and
+  Meridian-driven selection, multi-run aggregation.
+* :mod:`repro.neighbor.filters` — the §4.3 naive TIV-severity filter
+  strawman (neighbour lists and ring construction that avoid the globally
+  worst-severity edges).
+"""
+
+from repro.neighbor.filters import (
+    random_neighbor_lists,
+    severity_excluded_edges,
+    severity_filtered_neighbor_lists,
+)
+from repro.neighbor.selection import (
+    CoordinateSelectionExperiment,
+    MeridianSelectionExperiment,
+    NeighborSelectionResult,
+    percentage_penalty,
+    select_by_predictor,
+)
+
+__all__ = [
+    "percentage_penalty",
+    "select_by_predictor",
+    "NeighborSelectionResult",
+    "CoordinateSelectionExperiment",
+    "MeridianSelectionExperiment",
+    "severity_excluded_edges",
+    "random_neighbor_lists",
+    "severity_filtered_neighbor_lists",
+]

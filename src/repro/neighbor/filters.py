@@ -1,0 +1,107 @@
+"""The naive TIV-severity filter strawman (§4.3 of the paper).
+
+Assuming *global* knowledge of the delay matrix, the worst-severity edges
+can be identified exactly.  The strawman strategy simply refuses to use
+those edges — Vivaldi nodes do not probe across them and Meridian nodes do
+not accept ring members across them.  The paper shows this barely helps
+Vivaldi and actively hurts Meridian (under-populated rings), motivating the
+finer-grained TIV alert mechanism of §5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import NeighborSelectionError
+from repro.stats.rng import RngLike, ensure_rng
+from repro.tiv.severity import TIVSeverityResult
+
+
+def severity_excluded_edges(
+    severity: TIVSeverityResult, *, fraction: float = 0.2
+) -> set[tuple[int, int]]:
+    """Return the globally worst ``fraction`` of edges by TIV severity.
+
+    The paper's strawman removes the worst 20 % of edges.
+    """
+    return severity.worst_edges(fraction)
+
+
+def random_neighbor_lists(
+    matrix: DelayMatrix,
+    *,
+    n_neighbors: int = 32,
+    rng: RngLike = None,
+    excluded_edges: Optional[set[tuple[int, int]]] = None,
+) -> list[list[int]]:
+    """Draw random Vivaldi probing-neighbour lists, optionally avoiding edges.
+
+    Parameters
+    ----------
+    matrix:
+        The delay matrix (defines the node population).
+    n_neighbors:
+        Neighbours per node (paper: 32).
+    rng:
+        Seed or generator.
+    excluded_edges:
+        Edges (as ``(i, j)`` in any order) that must not be used.  When a
+        node does not have enough non-excluded candidates the list is
+        topped up from the excluded ones so Vivaldi never starves — matching
+        the practical reality that a filter cannot leave a node isolated.
+    """
+    if n_neighbors < 1:
+        raise NeighborSelectionError("n_neighbors must be >= 1")
+    gen = ensure_rng(rng)
+    n = matrix.n_nodes
+    k = min(n_neighbors, n - 1)
+    excluded = {frozenset(edge) for edge in (excluded_edges or set())}
+
+    lists: list[list[int]] = []
+    for i in range(n):
+        pool = np.delete(np.arange(n), i)
+        gen.shuffle(pool)
+        allowed = [int(j) for j in pool if frozenset((i, int(j))) not in excluded]
+        blocked = [int(j) for j in pool if frozenset((i, int(j))) in excluded]
+        chosen = allowed[:k]
+        if len(chosen) < k:
+            chosen.extend(blocked[: k - len(chosen)])
+        lists.append(chosen)
+    return lists
+
+
+def severity_filtered_neighbor_lists(
+    matrix: DelayMatrix,
+    severity: TIVSeverityResult,
+    *,
+    n_neighbors: int = 32,
+    fraction: float = 0.2,
+    rng: RngLike = None,
+) -> list[list[int]]:
+    """Random neighbour lists that avoid the worst-severity edges (§4.3)."""
+    excluded = severity_excluded_edges(severity, fraction=fraction)
+    return random_neighbor_lists(
+        matrix, n_neighbors=n_neighbors, rng=rng, excluded_edges=excluded
+    )
+
+
+def neighbor_edge_severities(
+    neighbor_lists: Sequence[Sequence[int]], severity: TIVSeverityResult
+) -> np.ndarray:
+    """TIV severity of every (node, neighbour) edge in the given lists.
+
+    Used by Fig. 22 to show how the dynamic-neighbour procedure drains high
+    severity edges out of the Vivaldi neighbour sets.
+    """
+    values: list[float] = []
+    for i, neighbors in enumerate(neighbor_lists):
+        for j in neighbors:
+            value = severity.severity[i, int(j)]
+            if np.isfinite(value):
+                values.append(float(value))
+    if not values:
+        raise NeighborSelectionError("neighbour lists contain no measured edges")
+    return np.asarray(values)

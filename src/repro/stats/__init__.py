@@ -1,0 +1,32 @@
+"""Statistics utilities shared by all analysis and experiment modules.
+
+The submodules are intentionally small and dependency-free (NumPy only):
+
+* :mod:`repro.stats.rng` — reproducible random-number-generator plumbing.
+* :mod:`repro.stats.cdf` — empirical cumulative distribution functions.
+* :mod:`repro.stats.binning` — percentile error-bar bins used by the paper's
+  "median with 10th/90th percentile error bar" figures.
+* :mod:`repro.stats.summary` — scalar summaries (median absolute error, etc.).
+"""
+
+from repro.stats.binning import BinnedStats, bin_by_value
+from repro.stats.cdf import ECDF
+from repro.stats.rng import ensure_rng, spawn_rngs
+from repro.stats.summary import (
+    absolute_errors,
+    median_absolute_error,
+    percentile_summary,
+    relative_errors,
+)
+
+__all__ = [
+    "BinnedStats",
+    "bin_by_value",
+    "ECDF",
+    "ensure_rng",
+    "spawn_rngs",
+    "absolute_errors",
+    "median_absolute_error",
+    "percentile_summary",
+    "relative_errors",
+]

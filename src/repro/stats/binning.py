@@ -1,0 +1,148 @@
+"""Percentile error-bar binning.
+
+Figures 4–7, 8 (bottom), 11 and 19 of the paper all share one presentation:
+group edges into fixed-width bins of some x quantity (edge delay or
+prediction ratio) and report the 10th percentile, median and 90th percentile
+of some y quantity (TIV severity, shortest-path length, oscillation range)
+per bin.  :class:`BinnedStats` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinnedStats:
+    """Per-bin percentile summary of paired ``(x, y)`` samples.
+
+    Attributes
+    ----------
+    bin_edges:
+        Array of length ``n_bins + 1`` with the bin boundaries along x.
+    bin_centers:
+        Midpoint of each bin.
+    counts:
+        Number of samples falling in each bin.
+    p10, median, p90:
+        The 10th percentile, median, and 90th percentile of y per bin.
+        Bins with no samples hold ``nan``.
+    """
+
+    bin_edges: np.ndarray
+    bin_centers: np.ndarray
+    counts: np.ndarray
+    p10: np.ndarray
+    median: np.ndarray
+    p90: np.ndarray
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins."""
+        return int(self.counts.size)
+
+    def nonempty(self) -> "BinnedStats":
+        """Return a copy containing only bins that have at least one sample."""
+        mask = self.counts > 0
+        edges = self.bin_edges  # edges are kept as-is; centers/stats filtered
+        return BinnedStats(
+            bin_edges=edges,
+            bin_centers=self.bin_centers[mask],
+            counts=self.counts[mask],
+            p10=self.p10[mask],
+            median=self.median[mask],
+            p90=self.p90[mask],
+        )
+
+    def as_dict(self) -> dict[str, list[float]]:
+        """Return a JSON-friendly dictionary of the binned series."""
+        return {
+            "bin_centers": self.bin_centers.tolist(),
+            "counts": self.counts.tolist(),
+            "p10": self.p10.tolist(),
+            "median": self.median.tolist(),
+            "p90": self.p90.tolist(),
+        }
+
+
+def bin_by_value(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    bin_width: float,
+    x_min: float = 0.0,
+    x_max: float | None = None,
+    percentiles: tuple[float, float, float] = (10.0, 50.0, 90.0),
+) -> BinnedStats:
+    """Bin ``y`` values by their paired ``x`` value into fixed-width bins.
+
+    Parameters
+    ----------
+    x, y:
+        Paired samples of equal length.
+    bin_width:
+        Width of each bin along x (the paper uses 10 ms for delay bins and
+        0.1 for prediction-ratio bins).
+    x_min:
+        Lower edge of the first bin.
+    x_max:
+        Upper edge of the last bin; defaults to ``max(x)``.
+    percentiles:
+        The low / mid / high percentiles reported per bin.
+    """
+    xs = np.asarray(x, dtype=float).ravel()
+    ys = np.asarray(y, dtype=float).ravel()
+    if xs.size != ys.size:
+        raise ValueError(f"x and y must have equal length, got {xs.size} and {ys.size}")
+    if xs.size == 0:
+        raise ValueError("cannot bin an empty sample")
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+
+    finite = np.isfinite(xs) & np.isfinite(ys)
+    xs, ys = xs[finite], ys[finite]
+    if xs.size == 0:
+        raise ValueError("no finite (x, y) pairs to bin")
+
+    if x_max is None:
+        x_max = float(xs.max())
+    if x_max <= x_min:
+        x_max = x_min + bin_width
+
+    n_bins = int(np.ceil((x_max - x_min) / bin_width))
+    n_bins = max(n_bins, 1)
+    edges = x_min + bin_width * np.arange(n_bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+
+    indices = np.floor((xs - x_min) / bin_width).astype(int)
+    in_range = (indices >= 0) & (indices < n_bins)
+    indices, ys_in = indices[in_range], ys[in_range]
+
+    counts = np.zeros(n_bins, dtype=int)
+    p_lo = np.full(n_bins, np.nan)
+    p_mid = np.full(n_bins, np.nan)
+    p_hi = np.full(n_bins, np.nan)
+
+    order = np.argsort(indices, kind="stable")
+    indices_sorted = indices[order]
+    ys_sorted = ys_in[order]
+    boundaries = np.searchsorted(indices_sorted, np.arange(n_bins + 1))
+    lo_q, mid_q, hi_q = percentiles
+    for b in range(n_bins):
+        start, stop = boundaries[b], boundaries[b + 1]
+        if stop > start:
+            chunk = ys_sorted[start:stop]
+            counts[b] = stop - start
+            p_lo[b], p_mid[b], p_hi[b] = np.percentile(chunk, [lo_q, mid_q, hi_q])
+
+    return BinnedStats(
+        bin_edges=edges,
+        bin_centers=centers,
+        counts=counts,
+        p10=p_lo,
+        median=p_mid,
+        p90=p_hi,
+    )

@@ -1,0 +1,43 @@
+"""Triangle inequality violation (TIV) analysis.
+
+This package implements Section 2 of the paper:
+
+* :mod:`repro.tiv.severity` — the per-edge TIV severity metric (§2.1), the
+  triangulation-ratio distribution, and violation counting;
+* :mod:`repro.tiv.analysis` — severity-vs-delay binned statistics
+  (Figs. 4–7), the severity-by-cluster matrix (Fig. 3), and the Fig. 8
+  within-cluster / shortest-path analysis;
+* :mod:`repro.tiv.proximity` — the nearest-pair vs random-pair proximity
+  analysis of Fig. 9.
+"""
+
+from repro.tiv.analysis import (
+    ClusterSeverityResult,
+    cluster_severity_analysis,
+    severity_cdf,
+    severity_vs_delay,
+    within_cluster_fraction_vs_delay,
+)
+from repro.tiv.proximity import ProximityResult, proximity_analysis
+from repro.tiv.severity import (
+    TIVSeverityResult,
+    compute_tiv_severity,
+    edge_tiv_severity,
+    triangulation_ratios,
+    violating_triangle_fraction,
+)
+
+__all__ = [
+    "TIVSeverityResult",
+    "compute_tiv_severity",
+    "edge_tiv_severity",
+    "triangulation_ratios",
+    "violating_triangle_fraction",
+    "severity_cdf",
+    "severity_vs_delay",
+    "ClusterSeverityResult",
+    "cluster_severity_analysis",
+    "within_cluster_fraction_vs_delay",
+    "ProximityResult",
+    "proximity_analysis",
+]

@@ -1,0 +1,234 @@
+"""The TIV severity metric (Section 2.1 of the paper).
+
+Given nodes A, B, C, edge AC *causes* a triangle inequality violation in the
+triangle ABC when ``d(A,B) + d(B,C) < d(A,C)``.  The triangulation ratio of
+that violation is ``d(A,C) / (d(A,B) + d(B,C))`` (always > 1 for a
+violation).  The paper defines the **TIV severity** of edge AC over a node
+set ``S`` as::
+
+    severity(A, C) = sum over violating B of d(A,C) / (d(A,B) + d(B,C))  /  |S|
+
+A severity of zero means the edge causes no violation; larger values mean
+more and/or stronger violations.  The metric deliberately combines the
+*number* of violations and their triangulation ratios, which the paper shows
+is what neither quantity achieves alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import DelayMatrixError
+from repro.stats.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TIVSeverityResult:
+    """Per-edge TIV severity of a delay matrix.
+
+    Attributes
+    ----------
+    severity:
+        N×N symmetric matrix of TIV severities.  Entries for missing edges
+        and the diagonal are ``nan``.
+    violation_counts:
+        N×N matrix with the number of third nodes B that witness a violation
+        of edge (i, j).
+    n_nodes:
+        Number of nodes |S| used for the normalisation.
+    """
+
+    severity: np.ndarray = field(repr=False)
+    violation_counts: np.ndarray = field(repr=False)
+    n_nodes: int
+
+    def edge_severities(self) -> np.ndarray:
+        """Severity of every measured undirected edge (upper-triangle order)."""
+        iu = np.triu_indices(self.n_nodes, k=1)
+        vals = self.severity[iu]
+        return vals[np.isfinite(vals)]
+
+    def edge_severity(self, i: int, j: int) -> float:
+        """Severity of the edge between nodes ``i`` and ``j``."""
+        return float(self.severity[i, j])
+
+    def worst_edges(self, fraction: float) -> set[tuple[int, int]]:
+        """Return the ``fraction`` of measured edges with the highest severity.
+
+        Edges are returned as ``(i, j)`` tuples with ``i < j``.  This is the
+        primitive used both by the §4.3 naive filter strawman and by the
+        alert-accuracy evaluation of Figs. 20–21.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        iu = np.triu_indices(self.n_nodes, k=1)
+        vals = self.severity[iu]
+        finite = np.isfinite(vals)
+        rows, cols, vals = iu[0][finite], iu[1][finite], vals[finite]
+        count = max(1, int(round(fraction * vals.size)))
+        order = np.argsort(vals)[::-1][:count]
+        return {(int(rows[k]), int(cols[k])) for k in order}
+
+    def severity_threshold(self, fraction: float) -> float:
+        """Severity value separating the worst ``fraction`` of edges from the rest."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        vals = self.edge_severities()
+        return float(np.quantile(vals, 1.0 - fraction))
+
+    def summary(self) -> dict[str, float]:
+        """Scalar summary of the edge-severity distribution."""
+        vals = self.edge_severities()
+        return {
+            "edges": float(vals.size),
+            "mean": float(vals.mean()),
+            "median": float(np.median(vals)),
+            "p90": float(np.quantile(vals, 0.90)),
+            "max": float(vals.max()),
+            "fraction_nonzero": float(np.count_nonzero(vals > 0) / vals.size),
+        }
+
+
+def _prepared_delays(matrix: DelayMatrix) -> np.ndarray:
+    """Return the delay array with missing entries replaced by +inf.
+
+    Using +inf makes missing edges automatically fail every "shorter detour"
+    comparison, so they never register as violations or witnesses.
+    """
+    delays = matrix.to_array()
+    missing = ~np.isfinite(delays)
+    delays[missing] = np.inf
+    np.fill_diagonal(delays, 0.0)
+    return delays
+
+
+def compute_tiv_severity(matrix: DelayMatrix) -> TIVSeverityResult:
+    """Compute the TIV severity of every edge of ``matrix``.
+
+    The computation is O(N³) but fully vectorised per source row, which is
+    fast enough for the matrix sizes used by the experiment harness (a
+    400-node matrix takes well under a second).
+    """
+    delays = _prepared_delays(matrix)
+    n = matrix.n_nodes
+    severity = np.zeros((n, n), dtype=float)
+    counts = np.zeros((n, n), dtype=np.int64)
+
+    for a in range(n):
+        d_a = delays[a]                       # d(A, B) for all B
+        # two_hop[b, c] = d(A, b) + d(b, c)
+        two_hop = d_a[:, None] + delays
+        direct = d_a[None, :]                 # d(A, C) broadcast over rows (B)
+        with np.errstate(invalid="ignore"):
+            violating = two_hop < direct
+        # A node cannot witness a violation of an edge it belongs to.
+        violating[a, :] = False
+        violating[np.arange(n), np.arange(n)] = False  # B == C
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(violating, direct / two_hop, 0.0)
+        severity[a] = ratios.sum(axis=0) / n
+        counts[a] = violating.sum(axis=0)
+
+    # Edges with a missing direct measurement have undefined severity.
+    measured = np.isfinite(matrix.values)
+    severity[~measured] = np.nan
+    np.fill_diagonal(severity, np.nan)
+    counts[~measured] = 0
+    return TIVSeverityResult(severity=severity, violation_counts=counts, n_nodes=n)
+
+
+def edge_tiv_severity(matrix: DelayMatrix, i: int, j: int) -> float:
+    """Compute the TIV severity of the single edge (i, j).
+
+    Useful when only a handful of edges is of interest; for whole-matrix
+    analysis use :func:`compute_tiv_severity`.
+    """
+    ratios = triangulation_ratios(matrix, i, j)
+    return float(ratios.sum() / matrix.n_nodes)
+
+
+def triangulation_ratios(matrix: DelayMatrix, i: int, j: int) -> np.ndarray:
+    """Return the triangulation ratios of all violations caused by edge (i, j).
+
+    The result contains one value ``d(i,j) / (d(i,b) + d(b,j)) > 1`` per
+    witness node ``b``; an empty array means the edge causes no violation.
+    """
+    if i == j:
+        raise DelayMatrixError("an edge needs two distinct endpoints")
+    delays = _prepared_delays(matrix)
+    direct = delays[i, j]
+    if not np.isfinite(direct):
+        raise DelayMatrixError(f"edge ({i}, {j}) has no measured delay")
+    two_hop = delays[i, :] + delays[:, j]
+    two_hop[i] = np.inf
+    two_hop[j] = np.inf
+    violating = two_hop < direct
+    return direct / two_hop[violating]
+
+
+def violating_triangle_fraction(
+    matrix: DelayMatrix,
+    *,
+    max_triangles: int | None = 2_000_000,
+    rng: RngLike = 0,
+) -> float:
+    """Fraction of node triples whose triangle violates the inequality.
+
+    The paper reports "around 12 %" for the DS² data.  A triangle (A, B, C)
+    counts as violating if any of its three edges is longer than the sum of
+    the other two.  For large matrices the triples are sampled
+    (``max_triangles`` of them) rather than enumerated.
+
+    Parameters
+    ----------
+    matrix:
+        The delay matrix.
+    max_triangles:
+        Sample size cap; ``None`` forces exact enumeration.
+    rng:
+        Seed or generator for the sampling path.
+    """
+    n = matrix.n_nodes
+    if n < 3:
+        raise DelayMatrixError("need at least 3 nodes to form a triangle")
+    delays = _prepared_delays(matrix)
+    total_triples = n * (n - 1) * (n - 2) // 6
+
+    if max_triangles is not None and total_triples > max_triangles:
+        gen = ensure_rng(rng)
+        a = gen.integers(0, n, size=max_triangles)
+        b = gen.integers(0, n, size=max_triangles)
+        c = gen.integers(0, n, size=max_triangles)
+        distinct = (a != b) & (b != c) & (a != c)
+        a, b, c = a[distinct], b[distinct], c[distinct]
+        ab, bc, ca = delays[a, b], delays[b, c], delays[c, a]
+        measured = np.isfinite(ab) & np.isfinite(bc) & np.isfinite(ca)
+        ab, bc, ca = ab[measured], bc[measured], ca[measured]
+        if ab.size == 0:
+            return 0.0
+        violated = (ab + bc < ca) | (bc + ca < ab) | (ca + ab < bc)
+        return float(np.count_nonzero(violated) / violated.size)
+
+    violated_count = 0
+    triangle_count = 0
+    for a in range(n):
+        for b in range(a + 1, n):
+            ab = delays[a, b]
+            if not np.isfinite(ab):
+                continue
+            cs = np.arange(b + 1, n)
+            if cs.size == 0:
+                continue
+            bc = delays[b, cs]
+            ca = delays[cs, a]
+            measured = np.isfinite(bc) & np.isfinite(ca)
+            bc, ca = bc[measured], ca[measured]
+            triangle_count += bc.size
+            violated = (ab + bc < ca) | (bc + ca < ab) | (ca + ab < bc)
+            violated_count += int(np.count_nonzero(violated))
+    if triangle_count == 0:
+        return 0.0
+    return violated_count / triangle_count

@@ -1,0 +1,131 @@
+"""Tests for repro.apps.multicast."""
+
+import numpy as np
+import pytest
+
+from repro.apps.multicast import MulticastTree, build_multicast_tree
+from repro.apps.strategies import CoordinateStrategy, OracleStrategy
+from repro.coords.base import MatrixPredictor
+from repro.errors import NeighborSelectionError
+
+
+class TestMulticastTreeBasics:
+    def test_root_only_initially(self, small_internet_matrix):
+        tree = MulticastTree(small_internet_matrix, root=0)
+        assert tree.members == [0]
+        assert tree.parent_of(0) is None
+        assert tree.children_of(0) == []
+
+    def test_invalid_root_raises(self, small_internet_matrix):
+        with pytest.raises(NeighborSelectionError):
+            MulticastTree(small_internet_matrix, root=1_000)
+
+    def test_invalid_fanout_raises(self, small_internet_matrix):
+        with pytest.raises(NeighborSelectionError):
+            MulticastTree(small_internet_matrix, root=0, fanout=0)
+
+    def test_join_attaches_to_member(self, small_internet_matrix):
+        tree = MulticastTree(small_internet_matrix, root=0)
+        strategy = OracleStrategy(small_internet_matrix)
+        parent = tree.join(5, strategy)
+        assert parent == 0
+        assert tree.parent_of(5) == 0
+        assert tree.children_of(0) == [5]
+
+    def test_double_join_raises(self, small_internet_matrix):
+        tree = MulticastTree(small_internet_matrix, root=0)
+        strategy = OracleStrategy(small_internet_matrix)
+        tree.join(5, strategy)
+        with pytest.raises(NeighborSelectionError):
+            tree.join(5, strategy)
+
+    def test_unknown_node_queries_raise(self, small_internet_matrix):
+        tree = MulticastTree(small_internet_matrix, root=0)
+        with pytest.raises(NeighborSelectionError):
+            tree.parent_of(9)
+        with pytest.raises(NeighborSelectionError):
+            tree.children_of(9)
+
+    def test_fanout_respected(self, small_internet_matrix):
+        tree = MulticastTree(small_internet_matrix, root=0, fanout=2)
+        strategy = OracleStrategy(small_internet_matrix)
+        for node in range(1, 10):
+            tree.join(node, strategy)
+        for member in tree.members:
+            assert len(tree.children_of(member)) <= 2
+
+    def test_metrics_require_members(self, small_internet_matrix):
+        tree = MulticastTree(small_internet_matrix, root=0)
+        with pytest.raises(NeighborSelectionError):
+            tree.metrics()
+
+
+class TestBuildMulticastTree:
+    def test_all_members_joined(self, small_internet_matrix):
+        strategy = OracleStrategy(small_internet_matrix)
+        tree, metrics = build_multicast_tree(
+            small_internet_matrix, strategy, root=0, fanout=4, rng=0
+        )
+        assert len(tree.members) == small_internet_matrix.n_nodes
+        assert metrics.parent_penalties.size == small_internet_matrix.n_nodes - 1
+        assert metrics.probes == strategy.probes
+
+    def test_oracle_has_zero_parent_penalty(self, small_internet_matrix):
+        _, metrics = build_multicast_tree(
+            small_internet_matrix, OracleStrategy(small_internet_matrix), root=0, rng=1
+        )
+        assert np.allclose(metrics.parent_penalties, 0.0)
+
+    def test_metrics_sane(self, small_internet_matrix):
+        _, metrics = build_multicast_tree(
+            small_internet_matrix, OracleStrategy(small_internet_matrix), root=0, rng=2
+        )
+        assert metrics.tree_cost > 0
+        assert metrics.mean_root_latency > 0
+        assert np.all(metrics.latency_stretch >= 1.0 - 1e-9)
+        summary = metrics.summary()
+        assert summary["members"] == small_internet_matrix.n_nodes
+        assert summary["p90_stretch"] >= summary["median_stretch"]
+
+    def test_explicit_join_order(self, small_internet_matrix):
+        members = [3, 7, 11]
+        tree, metrics = build_multicast_tree(
+            small_internet_matrix,
+            OracleStrategy(small_internet_matrix),
+            root=0,
+            members=members,
+        )
+        assert sorted(tree.members) == sorted([0] + members)
+
+    def test_better_predictor_builds_cheaper_tree(self, small_internet_matrix, converged_vivaldi):
+        """Ground-truth coordinates never lose to Vivaldi on parent quality."""
+        order = list(range(1, small_internet_matrix.n_nodes))
+        _, vivaldi_metrics = build_multicast_tree(
+            small_internet_matrix, CoordinateStrategy(converged_vivaldi), root=0, members=order
+        )
+        perfect = MatrixPredictor(small_internet_matrix.with_filled_missing().values)
+        _, perfect_metrics = build_multicast_tree(
+            small_internet_matrix, CoordinateStrategy(perfect), root=0, members=order
+        )
+        assert (
+            perfect_metrics.summary()["median_parent_penalty"]
+            <= vivaldi_metrics.summary()["median_parent_penalty"]
+        )
+
+    def test_strategy_choosing_saturated_parent_falls_back(self, small_internet_matrix):
+        class AlwaysRoot(OracleStrategy):
+            def select(self, node, members):
+                self.probes += len(members)
+                return 0
+
+        tree, metrics = build_multicast_tree(
+            small_internet_matrix,
+            AlwaysRoot(small_internet_matrix),
+            root=0,
+            members=list(range(1, 12)),
+            fanout=3,
+        )
+        # Only three nodes can actually sit under the root; the rest must
+        # have been attached to eligible parents instead.
+        assert len(tree.children_of(0)) == 3
+        assert len(tree.members) == 12

@@ -1,0 +1,103 @@
+"""Tests for repro.apps.strategies."""
+
+import numpy as np
+import pytest
+
+from repro.apps.strategies import CoordinateStrategy, MeridianStrategy, OracleStrategy
+from repro.coords.base import MatrixPredictor
+from repro.errors import NeighborSelectionError
+from repro.meridian.rings import MeridianConfig
+
+
+class TestOracleStrategy:
+    def test_picks_true_nearest(self, small_internet_matrix):
+        strategy = OracleStrategy(small_internet_matrix)
+        members = list(range(1, 20))
+        chosen = strategy.select(40, members)
+        assert chosen == small_internet_matrix.nearest_neighbor(40, candidates=members)
+
+    def test_counts_probes(self, small_internet_matrix):
+        strategy = OracleStrategy(small_internet_matrix)
+        strategy.select(40, list(range(10)))
+        assert strategy.probes == 10
+        strategy.reset_probes()
+        assert strategy.probes == 0
+
+    def test_excludes_self(self, small_internet_matrix):
+        strategy = OracleStrategy(small_internet_matrix)
+        chosen = strategy.select(5, [5, 6, 7])
+        assert chosen in (6, 7)
+
+    def test_empty_members_raise(self, small_internet_matrix):
+        strategy = OracleStrategy(small_internet_matrix)
+        with pytest.raises(NeighborSelectionError):
+            strategy.select(5, [5])
+
+
+class TestCoordinateStrategy:
+    def test_ground_truth_predictor_matches_oracle(self, small_internet_matrix):
+        predictor = MatrixPredictor(small_internet_matrix.with_filled_missing().values)
+        coordinate = CoordinateStrategy(predictor)
+        oracle = OracleStrategy(small_internet_matrix)
+        members = list(range(10, 30))
+        for node in (0, 5, 50):
+            assert coordinate.select(node, members) == oracle.select(node, members)
+
+    def test_no_probes_issued(self, small_internet_matrix, converged_vivaldi):
+        strategy = CoordinateStrategy(converged_vivaldi)
+        strategy.select(40, list(range(10)))
+        assert strategy.probes == 0
+
+    def test_empty_members_raise(self, converged_vivaldi):
+        strategy = CoordinateStrategy(converged_vivaldi)
+        with pytest.raises(NeighborSelectionError):
+            strategy.select(3, [3])
+
+
+class TestMeridianStrategy:
+    def test_selects_member(self, small_internet_matrix):
+        strategy = MeridianStrategy(small_internet_matrix, rng=0)
+        members = list(range(20))
+        chosen = strategy.select(50, members)
+        assert chosen in members
+        assert strategy.probes > 0
+
+    def test_single_member_shortcut(self, small_internet_matrix):
+        strategy = MeridianStrategy(small_internet_matrix, rng=0)
+        assert strategy.select(50, [3]) == 3
+        assert strategy.probes == 1
+
+    def test_overlay_reused_for_same_members(self, small_internet_matrix):
+        strategy = MeridianStrategy(small_internet_matrix, rng=1)
+        members = list(range(15))
+        strategy.select(50, members)
+        overlay_first = strategy._overlay
+        strategy.select(51, members)
+        assert strategy._overlay is overlay_first
+
+    def test_overlay_rebuilt_when_members_change(self, small_internet_matrix):
+        strategy = MeridianStrategy(small_internet_matrix, rng=1)
+        strategy.select(50, list(range(15)))
+        first = strategy._overlay
+        strategy.select(50, list(range(16)))
+        assert strategy._overlay is not first
+
+    def test_respects_config(self, small_internet_matrix):
+        strategy = MeridianStrategy(
+            small_internet_matrix, config=MeridianConfig(beta=0.3), rng=2
+        )
+        chosen = strategy.select(60, list(range(25)))
+        assert chosen in range(25)
+
+    def test_reasonable_quality(self, small_internet_matrix):
+        """Meridian-selected parents should usually be near-optimal."""
+        strategy = MeridianStrategy(small_internet_matrix, rng=3)
+        oracle = OracleStrategy(small_internet_matrix)
+        members = list(range(30))
+        measured = small_internet_matrix.values
+        penalties = []
+        for node in range(40, 70):
+            selected = strategy.select(node, members)
+            best = oracle.select(node, members)
+            penalties.append(measured[node, selected] / measured[node, best])
+        assert np.median(penalties) < 1.5

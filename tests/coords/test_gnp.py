@@ -1,0 +1,80 @@
+"""Tests for repro.coords.gnp."""
+
+import numpy as np
+import pytest
+
+from repro.coords.gnp import GNPConfig, GNPCoordinates, fit_gnp
+from repro.core.alert import TIVAlert
+from repro.errors import EmbeddingError
+from repro.stats.summary import relative_errors
+
+
+class TestGNPConfig:
+    def test_defaults(self):
+        config = GNPConfig()
+        assert config.dimension == 5
+
+    def test_validation(self):
+        with pytest.raises(EmbeddingError):
+            GNPConfig(dimension=0)
+        with pytest.raises(EmbeddingError):
+            GNPConfig(dimension=5, n_landmarks=5)
+        with pytest.raises(EmbeddingError):
+            GNPConfig(max_iterations=0)
+
+
+class TestGNPCoordinates:
+    def test_shape_validation(self):
+        with pytest.raises(EmbeddingError):
+            GNPCoordinates(np.zeros(5), [0, 1])
+
+    def test_predict_symmetric_zero_diagonal(self, euclidean_matrix):
+        coords = fit_gnp(euclidean_matrix, GNPConfig(dimension=3, max_iterations=40), rng=0)
+        assert coords.predict(2, 2) == 0.0
+        assert coords.predict(1, 3) == pytest.approx(coords.predict(3, 1))
+        matrix = coords.predicted_matrix()
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestFitGnp:
+    def test_landmark_bookkeeping(self, euclidean_matrix):
+        coords = fit_gnp(euclidean_matrix, GNPConfig(dimension=2, n_landmarks=8, max_iterations=30), rng=1)
+        assert len(coords.landmarks) == 8
+        assert coords.coordinates.shape == (euclidean_matrix.n_nodes, 2)
+
+    def test_explicit_landmarks(self, euclidean_matrix):
+        coords = fit_gnp(
+            euclidean_matrix,
+            GNPConfig(dimension=2, max_iterations=30),
+            rng=2,
+            landmarks=list(range(7)),
+        )
+        assert coords.landmarks == tuple(range(7))
+
+    def test_invalid_landmarks(self, euclidean_matrix):
+        with pytest.raises(EmbeddingError):
+            fit_gnp(euclidean_matrix, GNPConfig(dimension=3), landmarks=[0, 1])
+        with pytest.raises(EmbeddingError):
+            fit_gnp(euclidean_matrix, GNPConfig(dimension=2), landmarks=[0, 0, 1, 2])
+        with pytest.raises(EmbeddingError):
+            fit_gnp(euclidean_matrix, GNPConfig(dimension=2), landmarks=[0, 1, 2, 999])
+
+    def test_reasonable_accuracy_on_metric_data(self, euclidean_matrix):
+        coords = fit_gnp(euclidean_matrix, GNPConfig(dimension=5, max_iterations=60), rng=3)
+        rel = relative_errors(euclidean_matrix.values, coords.predicted_matrix())
+        assert np.median(rel) < 0.35
+
+    def test_reproducible(self, euclidean_matrix):
+        config = GNPConfig(dimension=2, n_landmarks=6, max_iterations=20)
+        a = fit_gnp(euclidean_matrix, config, rng=9).coordinates
+        b = fit_gnp(euclidean_matrix, config, rng=9).coordinates
+        assert np.allclose(a, b)
+
+    def test_works_with_tiv_alert(self, small_internet_matrix):
+        """GNP plugs into the TIV alert like any other DelayPredictor."""
+        coords = fit_gnp(
+            small_internet_matrix, GNPConfig(dimension=3, n_landmarks=10, max_iterations=30), rng=4
+        )
+        alert = TIVAlert(small_internet_matrix, coords)
+        ratios = alert.ratio_matrix
+        assert np.isfinite(ratios[np.triu_indices_from(ratios, k=1)]).any()

@@ -1,0 +1,101 @@
+"""Tests for repro.coords.ides."""
+
+import numpy as np
+import pytest
+
+from repro.coords.ides import IDESConfig, IDESCoordinates, fit_ides
+from repro.errors import EmbeddingError
+from repro.stats.summary import median_absolute_error
+
+
+class TestIDESConfig:
+    def test_defaults(self):
+        config = IDESConfig()
+        assert config.dimension == 10
+        assert config.method == "svd"
+
+    def test_invalid_dimension(self):
+        with pytest.raises(EmbeddingError):
+            IDESConfig(dimension=0)
+
+    def test_invalid_method(self):
+        with pytest.raises(EmbeddingError):
+            IDESConfig(method="pca")
+
+    def test_invalid_iterations(self):
+        with pytest.raises(EmbeddingError):
+            IDESConfig(nmf_iterations=0)
+
+
+class TestIDESCoordinates:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EmbeddingError):
+            IDESCoordinates(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_predict_nonnegative_and_zero_diagonal(self, small_internet_matrix):
+        coords = fit_ides(small_internet_matrix, IDESConfig(dimension=8))
+        assert coords.predict(0, 0) == 0.0
+        assert coords.predict(0, 1) >= 0.0
+        assert coords.dimension == 8
+
+    def test_predicted_matrix_matches_predict(self, small_internet_matrix):
+        coords = fit_ides(small_internet_matrix, IDESConfig(dimension=8))
+        matrix = coords.predicted_matrix()
+        assert matrix[2, 5] == pytest.approx(coords.predict(2, 5))
+        assert np.allclose(np.diag(matrix), 0.0)
+
+
+class TestFitIdes:
+    def test_svd_accuracy_reasonable(self, small_internet_matrix):
+        coords = fit_ides(small_internet_matrix, IDESConfig(dimension=10, method="svd"))
+        error = median_absolute_error(small_internet_matrix.values, coords.predicted_matrix())
+        assert error < small_internet_matrix.median_delay()
+
+    def test_nmf_runs_and_is_nonnegative(self, small_internet_matrix):
+        coords = fit_ides(
+            small_internet_matrix,
+            IDESConfig(dimension=6, method="nmf", nmf_iterations=60),
+            rng=0,
+        )
+        predicted = coords.predicted_matrix()
+        assert np.all(predicted >= 0)
+        assert np.all(np.isfinite(predicted))
+
+    def test_nmf_reproducible_with_seed(self, small_internet_matrix):
+        config = IDESConfig(dimension=4, method="nmf", nmf_iterations=30)
+        a = fit_ides(small_internet_matrix, config, rng=7).predicted_matrix()
+        b = fit_ides(small_internet_matrix, config, rng=7).predicted_matrix()
+        assert np.allclose(a, b)
+
+    def test_higher_rank_fits_better(self, small_internet_matrix):
+        low = fit_ides(small_internet_matrix, IDESConfig(dimension=2))
+        high = fit_ides(small_internet_matrix, IDESConfig(dimension=20))
+        measured = small_internet_matrix.values
+        assert median_absolute_error(measured, high.predicted_matrix()) <= median_absolute_error(
+            measured, low.predicted_matrix()
+        )
+
+    def test_can_represent_tiv(self):
+        """IDES predictions are not bound by the triangle inequality."""
+        from repro.coords.simulation import three_node_tiv_matrix
+
+        matrix = three_node_tiv_matrix()
+        coords = fit_ides(matrix, IDESConfig(dimension=3))
+        predicted = coords.predicted_matrix()
+        # A perfect rank-3 factorisation reproduces the TIV exactly.
+        assert predicted[0, 2] > predicted[0, 1] + predicted[1, 2]
+
+    def test_handles_missing_values(self):
+        from repro.delayspace.matrix import DelayMatrix
+
+        delays = np.array(
+            [
+                [0.0, 10.0, np.nan, 30.0],
+                [10.0, 0.0, 12.0, 28.0],
+                [np.nan, 12.0, 0.0, 26.0],
+                [30.0, 28.0, 26.0, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        coords = fit_ides(matrix, IDESConfig(dimension=3))
+        assert np.all(np.isfinite(coords.predicted_matrix()))

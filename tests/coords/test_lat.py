@@ -1,0 +1,68 @@
+"""Tests for repro.coords.lat."""
+
+import numpy as np
+import pytest
+
+from repro.coords.lat import LATCoordinates, fit_lat
+from repro.errors import EmbeddingError
+from repro.stats.summary import absolute_errors
+
+
+class TestLATCoordinates:
+    def test_shape_validation(self):
+        with pytest.raises(EmbeddingError):
+            LATCoordinates(np.zeros(5), np.zeros(5))
+        with pytest.raises(EmbeddingError):
+            LATCoordinates(np.zeros((5, 2)), np.zeros(4))
+
+    def test_adjustment_added_to_prediction(self):
+        coords = np.array([[0.0, 0.0], [3.0, 4.0]])
+        lat = LATCoordinates(coords, np.array([1.0, 2.0]))
+        assert lat.predict(0, 1) == pytest.approx(5.0 + 1.0 + 2.0)
+        assert lat.predict(0, 0) == 0.0
+
+    def test_prediction_clamped_at_zero(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0]])
+        lat = LATCoordinates(coords, np.array([-5.0, -5.0]))
+        assert lat.predict(0, 1) == 0.0
+
+    def test_predicted_matrix_matches_predict(self, converged_vivaldi):
+        lat = fit_lat(converged_vivaldi, rng=0)
+        matrix = lat.predicted_matrix()
+        assert matrix[3, 8] == pytest.approx(lat.predict(3, 8))
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+
+class TestFitLat:
+    def test_adjustments_shape(self, converged_vivaldi):
+        lat = fit_lat(converged_vivaldi, rng=1)
+        assert lat.adjustments.shape == (converged_vivaldi.n_nodes,)
+        assert np.all(np.isfinite(lat.adjustments))
+
+    def test_explicit_samples(self, converged_vivaldi):
+        n = converged_vivaldi.n_nodes
+        samples = [[(i + 1) % n, (i + 2) % n] for i in range(n)]
+        lat = fit_lat(converged_vivaldi, samples=samples)
+        assert np.all(np.isfinite(lat.adjustments))
+
+    def test_wrong_sample_length_raises(self, converged_vivaldi):
+        with pytest.raises(EmbeddingError):
+            fit_lat(converged_vivaldi, samples=[[1, 2]])
+
+    def test_invalid_sample_size_raises(self, converged_vivaldi):
+        with pytest.raises(EmbeddingError):
+            fit_lat(converged_vivaldi, sample_size=0)
+
+    def test_reproducible_with_seed(self, converged_vivaldi):
+        a = fit_lat(converged_vivaldi, rng=5).adjustments
+        b = fit_lat(converged_vivaldi, rng=5).adjustments
+        assert np.array_equal(a, b)
+
+    def test_improves_or_matches_aggregate_error(self, converged_vivaldi):
+        """LAT is designed to improve aggregate accuracy over plain Vivaldi."""
+        measured = converged_vivaldi.matrix.values
+        plain = absolute_errors(measured, converged_vivaldi.predicted_matrix()).mean()
+        lat = fit_lat(converged_vivaldi, sample_size=20, rng=2)
+        adjusted = absolute_errors(measured, lat.predicted_matrix()).mean()
+        assert adjusted <= plain * 1.05

@@ -1,0 +1,133 @@
+"""Tests for repro.coords.vivaldi."""
+
+import numpy as np
+import pytest
+
+from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem, embed_vivaldi
+from repro.errors import EmbeddingError
+from repro.stats.summary import median_absolute_error, relative_errors
+
+
+class TestVivaldiConfig:
+    def test_defaults_match_paper(self):
+        config = VivaldiConfig()
+        assert config.dimension == 5
+        assert config.n_neighbors == 32
+
+    def test_invalid_dimension(self):
+        with pytest.raises(EmbeddingError):
+            VivaldiConfig(dimension=0)
+
+    def test_invalid_constants(self):
+        with pytest.raises(EmbeddingError):
+            VivaldiConfig(cc=0.0)
+        with pytest.raises(EmbeddingError):
+            VivaldiConfig(ce=1.5)
+
+    def test_invalid_probe_rate(self):
+        with pytest.raises(EmbeddingError):
+            VivaldiConfig(probes_per_node_per_second=0)
+
+
+class TestVivaldiSystem:
+    def test_initial_state(self, euclidean_matrix):
+        system = VivaldiSystem(euclidean_matrix, VivaldiConfig(n_neighbors=8), rng=0)
+        assert system.n_nodes == euclidean_matrix.n_nodes
+        assert system.coordinates.shape == (40, 5)
+        assert system.simulation_time == 0.0
+        assert all(len(nbrs) == 8 for nbrs in system.neighbors)
+
+    def test_neighbors_exclude_self(self, euclidean_matrix):
+        system = VivaldiSystem(euclidean_matrix, VivaldiConfig(n_neighbors=8), rng=0)
+        for i, nbrs in enumerate(system.neighbors):
+            assert i not in nbrs
+
+    def test_step_advances_time_and_returns_movement(self, euclidean_matrix):
+        system = VivaldiSystem(euclidean_matrix, VivaldiConfig(n_neighbors=8), rng=0)
+        movement = system.step()
+        assert system.simulation_time == 1.0
+        assert movement.shape == (40,)
+        assert np.all(movement >= 0)
+
+    def test_run_reduces_error_on_euclidean_data(self, euclidean_matrix):
+        system = VivaldiSystem(euclidean_matrix, VivaldiConfig(n_neighbors=16), rng=1)
+        initial = median_absolute_error(euclidean_matrix.values, system.predicted_matrix())
+        system.run(80)
+        final = median_absolute_error(euclidean_matrix.values, system.predicted_matrix())
+        assert final < initial
+        rel = relative_errors(euclidean_matrix.values, system.predicted_matrix())
+        assert np.median(rel) < 0.25  # embeddable data should embed well
+
+    def test_error_estimates_shrink(self, euclidean_matrix):
+        system = VivaldiSystem(euclidean_matrix, VivaldiConfig(n_neighbors=16), rng=2)
+        system.run(60)
+        assert np.median(system.errors) < 1.0
+
+    def test_predict_symmetric_and_zero_diagonal(self, euclidean_matrix):
+        system = embed_vivaldi(euclidean_matrix, seconds=10, rng=3)
+        assert system.predict(3, 3) == 0.0
+        assert system.predict(1, 2) == pytest.approx(system.predict(2, 1))
+
+    def test_predicted_matrix_matches_predict(self, euclidean_matrix):
+        system = embed_vivaldi(euclidean_matrix, seconds=10, rng=3)
+        matrix = system.predicted_matrix()
+        assert matrix[4, 7] == pytest.approx(system.predict(4, 7))
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_prediction_ratio_matrix(self, small_internet_matrix):
+        system = embed_vivaldi(small_internet_matrix, seconds=20, rng=4)
+        ratios = system.prediction_ratio_matrix()
+        assert np.all(np.isnan(np.diag(ratios)))
+        finite = ratios[np.isfinite(ratios)]
+        assert np.all(finite >= 0)
+
+    def test_reproducible_with_seed(self, euclidean_matrix):
+        a = embed_vivaldi(euclidean_matrix, seconds=15, rng=9).coordinates
+        b = embed_vivaldi(euclidean_matrix, seconds=15, rng=9).coordinates
+        assert np.array_equal(a, b)
+
+    def test_negative_run_raises(self, euclidean_matrix):
+        with pytest.raises(EmbeddingError):
+            embed_vivaldi(euclidean_matrix, seconds=-1)
+
+
+class TestSetNeighbors:
+    def test_explicit_neighbors_used(self, euclidean_matrix):
+        explicit = [[(i + 1) % 40, (i + 2) % 40] for i in range(40)]
+        system = VivaldiSystem(euclidean_matrix, VivaldiConfig(n_neighbors=2), rng=0, neighbors=explicit)
+        assert system.neighbors == explicit
+
+    def test_wrong_length_raises(self, euclidean_matrix):
+        with pytest.raises(EmbeddingError):
+            VivaldiSystem(euclidean_matrix, neighbors=[[1]])
+
+    def test_self_neighbor_raises(self, euclidean_matrix):
+        bad = [[i] for i in range(40)]
+        with pytest.raises(EmbeddingError):
+            VivaldiSystem(euclidean_matrix, neighbors=bad)
+
+    def test_empty_list_raises(self, euclidean_matrix):
+        bad = [[] for _ in range(40)]
+        with pytest.raises(EmbeddingError):
+            VivaldiSystem(euclidean_matrix, neighbors=bad)
+
+    def test_out_of_range_raises(self, euclidean_matrix):
+        bad = [[99] for _ in range(40)]
+        with pytest.raises(EmbeddingError):
+            VivaldiSystem(euclidean_matrix, neighbors=bad)
+
+    def test_missing_delays_are_skipped(self):
+        import numpy as np
+        from repro.delayspace.matrix import DelayMatrix
+
+        delays = np.array(
+            [
+                [0.0, 10.0, np.nan],
+                [10.0, 0.0, 12.0],
+                [np.nan, 12.0, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        system = VivaldiSystem(matrix, VivaldiConfig(n_neighbors=2, dimension=2), rng=0)
+        system.run(20)  # must not raise despite the missing edge
+        assert np.all(np.isfinite(system.coordinates))

@@ -1,0 +1,95 @@
+"""Tests for repro.delayspace.clustering."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.clustering import classify_major_clusters
+from repro.delayspace.matrix import DelayMatrix
+from repro.delayspace.synthetic import SyntheticSpaceConfig, clustered_delay_space
+from repro.errors import ClusteringError
+
+
+def _two_blob_matrix() -> DelayMatrix:
+    """Two obvious clusters of 5 nodes each, 10 ms inside, 200 ms across."""
+    n = 10
+    delays = np.full((n, n), 200.0)
+    for block in (range(0, 5), range(5, 10)):
+        for i in block:
+            for j in block:
+                delays[i, j] = 0.0 if i == j else 10.0
+    return DelayMatrix(delays, symmetrize=False)
+
+
+class TestClassifyMajorClusters:
+    def test_two_blobs_found(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        assert assignment.n_clusters == 2
+        sizes = assignment.sizes()
+        assert sizes[:2] == [5, 5]
+        assert sizes[2] == 0  # no noise
+
+    def test_labels_partition_nodes(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        assert assignment.labels.shape == (10,)
+        assert set(assignment.labels.tolist()) == {0, 1}
+
+    def test_members_and_noise_label(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        assert assignment.noise_label == 2
+        all_members = np.concatenate([assignment.members(0), assignment.members(1)])
+        assert sorted(all_members.tolist()) == list(range(10))
+
+    def test_members_out_of_range_raises(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        with pytest.raises(ClusteringError):
+            assignment.members(5)
+
+    def test_reorder_indices_is_permutation(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        order = assignment.reorder_indices()
+        assert sorted(order.tolist()) == list(range(10))
+
+    def test_reorder_groups_clusters_contiguously(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        order = assignment.reorder_indices()
+        labels_in_order = assignment.labels[order]
+        # once the label changes it must not change back
+        changes = np.count_nonzero(np.diff(labels_in_order) != 0)
+        assert changes == 1
+
+    def test_same_cluster_mask(self):
+        assignment = classify_major_clusters(_two_blob_matrix(), n_clusters=2, cluster_radius=50.0)
+        mask = assignment.same_cluster_mask()
+        assert mask[0, 1]
+        assert not mask[0, 9]
+
+    def test_invalid_parameters(self):
+        matrix = _two_blob_matrix()
+        with pytest.raises(ClusteringError):
+            classify_major_clusters(matrix, n_clusters=0)
+        with pytest.raises(ClusteringError):
+            classify_major_clusters(matrix, cluster_radius=-1.0)
+
+    def test_labels_ordered_by_size(self):
+        config = SyntheticSpaceConfig(n_nodes=90)
+        matrix = clustered_delay_space(config, rng=0)
+        assignment = classify_major_clusters(matrix, n_clusters=3)
+        sizes = assignment.sizes()[: assignment.n_clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_recovers_synthetic_clusters_roughly(self):
+        config = SyntheticSpaceConfig(n_nodes=90, tiv_edge_fraction=0.0, jitter_fraction=0.0)
+        matrix, truth = clustered_delay_space(config, rng=1, return_clusters=True)
+        assignment = classify_major_clusters(matrix, n_clusters=3, cluster_radius=60.0)
+        # Most node pairs should agree on "same cluster or not".
+        recovered_same = assignment.labels[:, None] == assignment.labels[None, :]
+        truth_same = truth[:, None] == truth[None, :]
+        iu = np.triu_indices(90, k=1)
+        agreement = np.mean(recovered_same[iu] == truth_same[iu])
+        assert agreement > 0.7
+
+    def test_noise_cluster_when_radius_small(self):
+        matrix = _two_blob_matrix()
+        assignment = classify_major_clusters(matrix, n_clusters=1, cluster_radius=50.0)
+        assert assignment.n_clusters == 1
+        assert assignment.sizes()[-1] == 5  # second blob becomes noise

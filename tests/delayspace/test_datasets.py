@@ -1,0 +1,82 @@
+"""Tests for repro.delayspace.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.datasets import available_datasets, get_preset, load_dataset
+from repro.errors import DatasetError
+from repro.tiv.severity import violating_triangle_fraction
+
+
+class TestRegistry:
+    def test_expected_presets_present(self):
+        names = available_datasets()
+        for expected in (
+            "ds2_like",
+            "meridian_like",
+            "p2psim_like",
+            "planetlab_like",
+            "euclidean_like",
+            "uniform_euclidean",
+        ):
+            assert expected in names
+
+    def test_get_preset_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            get_preset("nope")
+
+    def test_preset_metadata(self):
+        preset = get_preset("ds2_like")
+        assert preset.paper_nodes == 4000
+        assert preset.default_nodes > 0
+        assert "DS2" in preset.description
+
+
+class TestLoadDataset:
+    def test_default_size(self):
+        matrix = load_dataset("planetlab_like")
+        assert matrix.n_nodes == get_preset("planetlab_like").default_nodes
+
+    def test_node_override(self):
+        matrix = load_dataset("ds2_like", n_nodes=50, rng=0)
+        assert matrix.n_nodes == 50
+
+    def test_too_few_nodes_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("ds2_like", n_nodes=2)
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("unknown")
+
+    def test_reproducible_default_seed(self):
+        a = load_dataset("p2psim_like", n_nodes=40).values
+        b = load_dataset("p2psim_like", n_nodes=40).values
+        assert np.array_equal(a, b)
+
+    def test_different_seed_differs(self):
+        a = load_dataset("p2psim_like", n_nodes=40, rng=1).values
+        b = load_dataset("p2psim_like", n_nodes=40, rng=2).values
+        assert not np.array_equal(a, b)
+
+    def test_euclidean_preset_has_no_tivs(self):
+        matrix = load_dataset("euclidean_like", n_nodes=40, rng=0)
+        assert violating_triangle_fraction(matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_euclidean_preset_has_no_tivs(self):
+        matrix = load_dataset("uniform_euclidean", n_nodes=40, rng=0)
+        assert violating_triangle_fraction(matrix) == pytest.approx(0.0, abs=1e-9)
+
+    def test_internet_presets_have_tivs(self):
+        for name in ("ds2_like", "meridian_like", "p2psim_like", "planetlab_like"):
+            matrix = load_dataset(name, n_nodes=60, rng=0)
+            assert violating_triangle_fraction(matrix) > 0.005, name
+
+    def test_return_clusters_euclidean(self):
+        matrix, clusters = load_dataset("uniform_euclidean", n_nodes=30, rng=0, return_clusters=True)
+        assert clusters.shape == (30,)
+        assert np.all(clusters == 0)
+
+    def test_return_clusters_internet(self):
+        matrix, clusters = load_dataset("ds2_like", n_nodes=60, rng=0, return_clusters=True)
+        assert len(np.unique(clusters)) >= 3

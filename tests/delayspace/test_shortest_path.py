@@ -1,0 +1,82 @@
+"""Tests for repro.delayspace.shortest_path."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.delayspace.shortest_path import (
+    detour_gains,
+    shortest_path_lengths_for_edges,
+    shortest_path_matrix,
+)
+from repro.errors import DelayMatrixError
+
+
+def _tiv_matrix() -> DelayMatrix:
+    delays = np.array(
+        [
+            [0.0, 5.0, 100.0],
+            [5.0, 0.0, 5.0],
+            [100.0, 5.0, 0.0],
+        ]
+    )
+    return DelayMatrix(delays, symmetrize=False)
+
+
+class TestShortestPathMatrix:
+    def test_detour_shorter_than_direct(self):
+        shortest = shortest_path_matrix(_tiv_matrix())
+        assert shortest[0, 2] == pytest.approx(10.0)
+
+    def test_diagonal_zero(self):
+        shortest = shortest_path_matrix(_tiv_matrix())
+        assert np.allclose(np.diag(shortest), 0.0)
+
+    def test_never_longer_than_direct(self, small_internet_matrix):
+        shortest = shortest_path_matrix(small_internet_matrix)
+        values = small_internet_matrix.values
+        finite = np.isfinite(values)
+        assert np.all(shortest[finite] <= values[finite] + 1e-9)
+
+    def test_symmetric(self, small_internet_matrix):
+        shortest = shortest_path_matrix(small_internet_matrix)
+        assert np.allclose(shortest, shortest.T)
+
+    def test_disconnected_nodes_are_inf(self):
+        delays = np.full((4, 4), np.nan)
+        np.fill_diagonal(delays, 0.0)
+        delays[0, 1] = delays[1, 0] = 5.0
+        delays[2, 3] = delays[3, 2] = 7.0
+        matrix = DelayMatrix(delays, symmetrize=False)
+        shortest = shortest_path_matrix(matrix)
+        assert np.isinf(shortest[0, 2])
+
+
+class TestDetourGains:
+    def test_gain_for_tiv_edge(self):
+        gains = detour_gains(_tiv_matrix())
+        assert gains.max() == pytest.approx(10.0)
+
+    def test_gains_at_least_one(self, small_internet_matrix):
+        gains = detour_gains(small_internet_matrix)
+        assert np.all(gains >= 1.0 - 1e-9)
+
+    def test_metric_matrix_has_unit_gains(self, euclidean_matrix):
+        gains = detour_gains(euclidean_matrix)
+        assert np.allclose(gains, 1.0)
+
+    def test_shape_mismatch_raises(self, small_internet_matrix):
+        with pytest.raises(DelayMatrixError):
+            detour_gains(small_internet_matrix, shortest=np.zeros((3, 3)))
+
+    def test_precomputed_shortest_used(self):
+        matrix = _tiv_matrix()
+        shortest = shortest_path_matrix(matrix)
+        assert np.array_equal(detour_gains(matrix, shortest), detour_gains(matrix))
+
+
+class TestEdgeLengths:
+    def test_paired_outputs(self, small_internet_matrix):
+        delays, shortest = shortest_path_lengths_for_edges(small_internet_matrix)
+        assert delays.shape == shortest.shape
+        assert np.all(shortest <= delays + 1e-9)

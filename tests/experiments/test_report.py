@@ -1,0 +1,67 @@
+"""Tests for repro.experiments.report."""
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import generate_report, render_result
+from repro.experiments.result import ExperimentResult
+
+
+def _fake_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="fig99",
+        title="A fake figure",
+        data={
+            "winner": "tiv_aware",
+            "metrics": {"exact_fraction": 0.91234567, "probes": 1200},
+            "curve": np.arange(100),
+            "nested": {"deep": {"value": 3}},
+        },
+        paper_expectation="The TIV-aware variant wins.",
+        notes="synthetic scale",
+    )
+
+
+class TestRenderResult:
+    def test_contains_title_and_expectation(self):
+        text = render_result(_fake_result())
+        assert "## fig99 — A fake figure" in text
+        assert "The TIV-aware variant wins." in text
+        assert "*Notes*: synthetic scale" in text
+
+    def test_scalars_flattened_arrays_skipped(self):
+        text = render_result(_fake_result())
+        assert "`metrics.exact_fraction`: 0.9123" in text
+        assert "`nested.deep.value`: 3" in text
+        assert "`winner`: tiv_aware" in text
+        assert "curve" not in text
+
+    def test_no_scalars_placeholder(self):
+        result = ExperimentResult(
+            experiment_id="figX", title="arrays only", data={"a": np.zeros(5)}
+        )
+        assert "no scalar headline values" in render_result(result)
+
+
+class TestGenerateReport:
+    def test_report_from_precomputed_results(self):
+        results = {"fig99": _fake_result()}
+        report = generate_report(ExperimentConfig(n_nodes=50), results=results)
+        assert "# Regenerated experiment results" in report
+        assert "50 nodes" in report
+        assert "## fig99" in report
+
+    def test_only_filter_applied(self):
+        results = {"fig99": _fake_result(), "fig98": _fake_result()}
+        report = generate_report(ExperimentConfig(n_nodes=50), results=results, only=["fig99"])
+        assert report.count("## fig99") == 1
+        assert "## fig98" not in report
+
+    def test_report_runs_selected_experiments(self):
+        config = ExperimentConfig(
+            n_nodes=60, vivaldi_seconds=20, selection_runs=2, max_clients=20
+        )
+        report = generate_report(config, only=["fig19", "fig09"])
+        assert "## fig19" in report
+        assert "## fig09" in report
+        assert "median_severity_shrunk" in report

@@ -1,0 +1,56 @@
+"""Tests for repro.meridian.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeridianError
+from repro.meridian.analysis import ring_misplacement_by_delay
+
+
+class TestRingMisplacement:
+    def test_output_shapes(self, small_internet_matrix):
+        centers, fraction, counts = ring_misplacement_by_delay(
+            small_internet_matrix, beta=0.5, bin_width=50.0, max_pairs=5_000, rng=0
+        )
+        assert centers.shape == fraction.shape == counts.shape
+        assert counts.sum() > 0
+
+    def test_fraction_bounds(self, small_internet_matrix):
+        _, fraction, _ = ring_misplacement_by_delay(
+            small_internet_matrix, beta=0.5, max_pairs=5_000, rng=1
+        )
+        valid = fraction[~np.isnan(fraction)]
+        assert np.all(valid >= 0.0)
+        assert np.all(valid <= 1.0)
+
+    def test_euclidean_matrix_has_no_misplacement(self, euclidean_matrix):
+        _, fraction, counts = ring_misplacement_by_delay(
+            euclidean_matrix, beta=0.5, max_pairs=None
+        )
+        weighted = np.nansum(np.nan_to_num(fraction) * counts) / counts.sum()
+        assert weighted == pytest.approx(0.0, abs=1e-12)
+
+    def test_tiv_matrix_has_misplacement(self, small_internet_matrix):
+        _, fraction, counts = ring_misplacement_by_delay(
+            small_internet_matrix, beta=0.5, max_pairs=None
+        )
+        weighted = np.nansum(np.nan_to_num(fraction) * counts) / counts.sum()
+        assert weighted > 0.0
+
+    def test_larger_beta_reduces_misplacement(self, small_internet_matrix):
+        def overall(beta):
+            _, fraction, counts = ring_misplacement_by_delay(
+                small_internet_matrix, beta=beta, max_pairs=None
+            )
+            return np.nansum(np.nan_to_num(fraction) * counts) / counts.sum()
+
+        assert overall(0.9) <= overall(0.1) + 1e-9
+
+    def test_invalid_beta_raises(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            ring_misplacement_by_delay(small_internet_matrix, beta=1.5)
+
+    def test_sampling_reproducible(self, small_internet_matrix):
+        a = ring_misplacement_by_delay(small_internet_matrix, max_pairs=2_000, rng=7)
+        b = ring_misplacement_by_delay(small_internet_matrix, max_pairs=2_000, rng=7)
+        assert np.allclose(np.nan_to_num(a[1]), np.nan_to_num(b[1]))

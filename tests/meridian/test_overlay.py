@@ -1,0 +1,200 @@
+"""Tests for repro.meridian.overlay, including the Fig. 12 scenario."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import MeridianError
+from repro.meridian.overlay import MeridianOverlay
+from repro.meridian.rings import MeridianConfig
+
+
+def fig12_matrix() -> DelayMatrix:
+    """The §3.2.2 / Fig. 12 scenario.
+
+    Nodes: A=0, B=1, N=2, T=3 with d(A,T)=12, d(T,N)=1, d(A,N)=25,
+    d(A,B)=11, d(B,T)=4, d(B,N)=12.  Three of the four triangles violate the
+    triangle inequality, which makes Meridian return B although N is the
+    true closest node to T.
+    """
+    delays = np.array(
+        [
+            [0.0, 11.0, 25.0, 12.0],
+            [11.0, 0.0, 12.0, 4.0],
+            [25.0, 12.0, 0.0, 1.0],
+            [12.0, 4.0, 1.0, 0.0],
+        ]
+    )
+    return DelayMatrix(delays, labels=("A", "B", "N", "T"), symmetrize=False)
+
+
+class TestOverlayConstruction:
+    def test_requires_two_meridian_nodes(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            MeridianOverlay(small_internet_matrix, [0])
+
+    def test_duplicate_nodes_raise(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            MeridianOverlay(small_internet_matrix, [0, 0, 1])
+
+    def test_out_of_range_node_raises(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            MeridianOverlay(small_internet_matrix, [0, 10_000])
+
+    def test_full_membership_populates_all(self, small_internet_matrix):
+        ids = list(range(10))
+        overlay = MeridianOverlay(
+            small_internet_matrix, ids, MeridianConfig(k=16), rng=0, full_membership=True
+        )
+        for node_id in ids:
+            assert len(overlay.node(node_id).members()) == 9
+
+    def test_sampled_membership_capped(self, small_internet_matrix):
+        ids = list(range(40))
+        overlay = MeridianOverlay(
+            small_internet_matrix,
+            ids,
+            MeridianConfig(),
+            rng=0,
+            membership_sample_size=10,
+        )
+        for node_id in ids:
+            assert len(overlay.node(node_id).members()) <= 10
+
+    def test_excluded_edges_not_used(self, small_internet_matrix):
+        ids = list(range(10))
+        excluded = {(0, j) for j in range(1, 10)}
+        overlay = MeridianOverlay(
+            small_internet_matrix,
+            ids,
+            rng=0,
+            full_membership=True,
+            excluded_edges=excluded,
+        )
+        assert overlay.node(0).members() == []
+
+    def test_node_lookup_unknown_raises(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, [0, 1, 2], rng=0)
+        with pytest.raises(MeridianError):
+            overlay.node(50)
+
+    def test_ring_occupancy_report(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, list(range(8)), rng=0, full_membership=True)
+        occupancy = overlay.ring_occupancy()
+        assert set(occupancy) == set(range(8))
+        assert all(sum(rings) == 7 for rings in occupancy.values())
+
+    def test_true_closest(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, list(range(20)), rng=0)
+        target = 30
+        node, delay = overlay.true_closest(target)
+        measured = small_internet_matrix.values[list(range(20)), target]
+        assert delay == pytest.approx(np.nanmin(measured))
+
+
+class TestFig12Scenario:
+    def test_tiv_misleads_meridian(self):
+        matrix = fig12_matrix()
+        overlay = MeridianOverlay(
+            matrix, [0, 1, 2], MeridianConfig(beta=0.5), rng=0, full_membership=True
+        )
+        result = overlay.closest_neighbor_query(3, start_node=0)
+        # Meridian ends at B even though N (delay 1) is the true closest.
+        assert result.selected == 1
+        assert result.optimal == 2
+        assert result.optimal_delay == 1.0
+        assert result.percentage_penalty == pytest.approx(300.0)
+        assert not result.found_optimal
+        assert result.hops[0] == 0
+
+    def test_starting_elsewhere_can_succeed(self):
+        matrix = fig12_matrix()
+        overlay = MeridianOverlay(
+            matrix, [0, 1, 2], MeridianConfig(beta=0.5), rng=0, full_membership=True
+        )
+        result = overlay.closest_neighbor_query(3, start_node=2)
+        # Starting at N itself trivially finds N.
+        assert result.selected == 2
+        assert result.found_optimal
+
+
+class TestQueryBehaviour:
+    def test_query_counts_probes(self, small_internet_matrix):
+        overlay = MeridianOverlay(
+            small_internet_matrix, list(range(20)), rng=1, full_membership=True
+        )
+        result = overlay.closest_neighbor_query(30, start_node=0)
+        assert result.probes >= 1
+        assert result.selected in range(20)
+        assert result.selected_delay >= result.optimal_delay or result.found_optimal
+
+    def test_invalid_target_raises(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, [0, 1, 2], rng=0)
+        with pytest.raises(MeridianError):
+            overlay.closest_neighbor_query(1_000)
+
+    def test_invalid_start_raises(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, [0, 1, 2], rng=0)
+        with pytest.raises(MeridianError):
+            overlay.closest_neighbor_query(5, start_node=7)
+
+    def test_random_start_used_when_omitted(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, list(range(10)), rng=2)
+        result = overlay.closest_neighbor_query(20)
+        assert result.hops[0] in range(10)
+
+    def test_no_termination_does_not_stop_early(self, small_internet_matrix):
+        ids = list(range(30))
+        target = 60
+        with_term = MeridianOverlay(
+            small_internet_matrix, ids, MeridianConfig(use_termination=True), rng=3, full_membership=True
+        ).closest_neighbor_query(target, start_node=ids[0])
+        without_term = MeridianOverlay(
+            small_internet_matrix, ids, MeridianConfig(use_termination=False), rng=3, full_membership=True
+        ).closest_neighbor_query(target, start_node=ids[0])
+        assert without_term.selected_delay <= with_term.selected_delay + 1e-9
+
+    def test_euclidean_ideal_setting_finds_optimal(self, euclidean_matrix):
+        """On TIV-free data with ideal settings Meridian should be near perfect."""
+        ids = list(range(20))
+        overlay = MeridianOverlay(
+            euclidean_matrix,
+            ids,
+            MeridianConfig(use_termination=False),
+            rng=4,
+            full_membership=True,
+        )
+        outcomes = [
+            overlay.closest_neighbor_query(t, start_node=ids[t % len(ids)])
+            for t in range(20, 40)
+        ]
+        exact = sum(1 for o in outcomes if o.found_optimal)
+        assert exact >= 18
+
+    def test_restart_policy_invoked(self):
+        matrix = fig12_matrix()
+        overlay = MeridianOverlay(
+            matrix, [0, 1, 2], MeridianConfig(beta=0.5), rng=0, full_membership=True
+        )
+        calls = []
+
+        def restart(ov, current, target, delay):
+            calls.append((current, target))
+            return [2]  # force N to be probed
+
+        result = overlay.closest_neighbor_query(3, start_node=0, restart_policy=restart)
+        assert calls, "restart policy should be consulted when the query stalls"
+        assert result.restarted
+        assert result.selected == 2
+        assert result.found_optimal
+
+    def test_restart_policy_returning_none_keeps_result(self):
+        matrix = fig12_matrix()
+        overlay = MeridianOverlay(
+            matrix, [0, 1, 2], MeridianConfig(beta=0.5), rng=0, full_membership=True
+        )
+        result = overlay.closest_neighbor_query(
+            3, start_node=0, restart_policy=lambda *args: None
+        )
+        assert result.selected == 1
+        assert not result.restarted

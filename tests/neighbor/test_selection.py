@@ -1,0 +1,182 @@
+"""Tests for repro.neighbor.selection."""
+
+import numpy as np
+import pytest
+
+from repro.coords.base import MatrixPredictor
+from repro.errors import NeighborSelectionError
+from repro.meridian.rings import MeridianConfig
+from repro.neighbor.selection import (
+    CoordinateSelectionExperiment,
+    MeridianSelectionExperiment,
+    NeighborSelectionResult,
+    percentage_penalty,
+    select_by_predictor,
+)
+
+
+class TestPercentagePenalty:
+    def test_perfect_choice(self):
+        assert percentage_penalty(10.0, 10.0) == 0.0
+
+    def test_double_delay_is_100_percent(self):
+        assert percentage_penalty(20.0, 10.0) == pytest.approx(100.0)
+
+    def test_zero_optimal(self):
+        assert percentage_penalty(0.0, 0.0) == 0.0
+        assert percentage_penalty(5.0, 0.0) == float("inf")
+
+    def test_negative_raises(self):
+        with pytest.raises(NeighborSelectionError):
+            percentage_penalty(-1.0, 5.0)
+
+
+class TestSelectByPredictor:
+    def test_ground_truth_predictor_is_perfect(self, small_internet_matrix):
+        predictor = MatrixPredictor(small_internet_matrix.with_filled_missing().values)
+        candidates = list(range(10))
+        clients = list(range(10, 40))
+        result = select_by_predictor(small_internet_matrix, predictor, candidates, clients)
+        assert result.exact_fraction == 1.0
+        assert result.median_penalty() == 0.0
+
+    def test_adversarial_predictor_is_poor(self, small_internet_matrix):
+        # Predict the *negated* delays so the farthest candidate looks closest.
+        inverted = MatrixPredictor(1000.0 - small_internet_matrix.with_filled_missing().values)
+        candidates = list(range(10))
+        clients = list(range(10, 40))
+        result = select_by_predictor(small_internet_matrix, inverted, candidates, clients)
+        assert result.exact_fraction < 0.5
+        assert result.median_penalty() > 0
+
+    def test_penalties_count_matches_clients(self, small_internet_matrix):
+        predictor = MatrixPredictor(small_internet_matrix.with_filled_missing().values)
+        result = select_by_predictor(
+            small_internet_matrix, predictor, list(range(5)), list(range(5, 25))
+        )
+        assert result.penalties.size == 20
+
+    def test_vivaldi_predictor_reasonable(self, small_internet_matrix, converged_vivaldi):
+        candidates = list(range(0, 80, 8))
+        clients = [i for i in range(80) if i not in candidates]
+        result = select_by_predictor(small_internet_matrix, converged_vivaldi, candidates, clients)
+        assert 0.0 <= result.exact_fraction <= 1.0
+        assert np.isfinite(result.median_penalty())
+
+    def test_size_mismatch_raises(self, small_internet_matrix):
+        predictor = MatrixPredictor(np.zeros((5, 5)))
+        with pytest.raises(NeighborSelectionError):
+            select_by_predictor(small_internet_matrix, predictor, [0, 1], [2, 3])
+
+    def test_empty_candidates_raise(self, small_internet_matrix, converged_vivaldi):
+        with pytest.raises(NeighborSelectionError):
+            select_by_predictor(small_internet_matrix, converged_vivaldi, [], [1, 2])
+
+
+class TestNeighborSelectionResult:
+    def test_pooling(self):
+        a = NeighborSelectionResult(penalties=np.array([0.0, 10.0]), probes=5, n_runs=1)
+        b = NeighborSelectionResult(penalties=np.array([20.0]), probes=7, n_runs=1)
+        pooled = NeighborSelectionResult.pooled([a, b])
+        assert pooled.penalties.size == 3
+        assert pooled.probes == 12
+        assert pooled.n_runs == 2
+
+    def test_pool_empty_raises(self):
+        with pytest.raises(NeighborSelectionError):
+            NeighborSelectionResult.pooled([])
+
+    def test_summary_and_cdf(self):
+        result = NeighborSelectionResult(penalties=np.array([0.0, 0.0, 50.0, 150.0]))
+        summary = result.summary()
+        assert summary["exact_fraction"] == 0.5
+        assert summary["median_penalty"] == 25.0
+        cdf = result.cdf()
+        assert cdf(0.0) == 0.5
+
+    def test_cdf_handles_inf(self):
+        result = NeighborSelectionResult(penalties=np.array([0.0, np.inf, 10.0]))
+        cdf = result.cdf()
+        assert len(cdf) == 3
+        assert np.isfinite(cdf.values).all()
+
+
+class TestCoordinateSelectionExperiment:
+    def test_split_sizes(self, small_internet_matrix):
+        experiment = CoordinateSelectionExperiment(
+            small_internet_matrix, n_candidates=10, n_runs=3, rng=0
+        )
+        splits = experiment.splits()
+        assert len(splits) == 3
+        for candidates, clients in splits:
+            assert candidates.size == 10
+            assert clients.size == small_internet_matrix.n_nodes - 10
+            assert not set(candidates.tolist()) & set(clients.tolist())
+
+    def test_runs_pooled(self, small_internet_matrix, converged_vivaldi):
+        experiment = CoordinateSelectionExperiment(
+            small_internet_matrix, n_candidates=10, n_runs=2, rng=1
+        )
+        result = experiment.run(converged_vivaldi)
+        assert result.n_runs == 2
+        assert result.penalties.size == 2 * (small_internet_matrix.n_nodes - 10)
+
+    def test_invalid_candidates_raises(self, small_internet_matrix):
+        with pytest.raises(NeighborSelectionError):
+            CoordinateSelectionExperiment(small_internet_matrix, n_candidates=0)
+        with pytest.raises(NeighborSelectionError):
+            CoordinateSelectionExperiment(
+                small_internet_matrix, n_candidates=small_internet_matrix.n_nodes
+            )
+        with pytest.raises(NeighborSelectionError):
+            CoordinateSelectionExperiment(small_internet_matrix, n_candidates=5, n_runs=0)
+
+    def test_reproducible(self, small_internet_matrix, converged_vivaldi):
+        def run():
+            return CoordinateSelectionExperiment(
+                small_internet_matrix, n_candidates=10, n_runs=2, rng=5
+            ).run(converged_vivaldi)
+
+        assert np.array_equal(run().penalties, run().penalties)
+
+
+class TestMeridianSelectionExperiment:
+    def test_basic_run(self, small_internet_matrix):
+        experiment = MeridianSelectionExperiment(
+            small_internet_matrix,
+            n_meridian=20,
+            config=MeridianConfig(),
+            n_runs=2,
+            max_clients=15,
+            rng=0,
+        )
+        result = experiment.run()
+        assert result.penalties.size == 2 * 15
+        assert result.probes > 0
+
+    def test_invalid_meridian_count(self, small_internet_matrix):
+        with pytest.raises(NeighborSelectionError):
+            MeridianSelectionExperiment(small_internet_matrix, n_meridian=1)
+        with pytest.raises(NeighborSelectionError):
+            MeridianSelectionExperiment(
+                small_internet_matrix, n_meridian=small_internet_matrix.n_nodes
+            )
+
+    def test_overlay_kwargs_forwarded(self, small_internet_matrix):
+        result = MeridianSelectionExperiment(
+            small_internet_matrix,
+            n_meridian=15,
+            n_runs=1,
+            max_clients=10,
+            rng=1,
+            overlay_kwargs={"full_membership": True},
+        ).run()
+        assert result.penalties.size == 10
+
+    def test_reproducible(self, small_internet_matrix):
+        def run():
+            return MeridianSelectionExperiment(
+                small_internet_matrix, n_meridian=15, n_runs=1, max_clients=10, rng=4
+            ).run()
+
+        assert np.array_equal(run().penalties, run().penalties)

@@ -1,0 +1,77 @@
+"""Tests for repro.stats.binning."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binning import bin_by_value
+
+
+class TestBinByValueValidation:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bin_by_value([1, 2], [1], bin_width=1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bin_by_value([], [], bin_width=1.0)
+
+    def test_nonpositive_width_raises(self):
+        with pytest.raises(ValueError):
+            bin_by_value([1], [1], bin_width=0)
+
+    def test_all_nonfinite_raises(self):
+        with pytest.raises(ValueError):
+            bin_by_value([np.nan], [np.nan], bin_width=1.0)
+
+
+class TestBinByValueStats:
+    def test_counts_partition_samples(self):
+        x = np.array([1, 2, 11, 12, 25])
+        stats = bin_by_value(x, x, bin_width=10.0)
+        assert stats.counts.sum() == 5
+        assert stats.counts.tolist() == [2, 2, 1]
+
+    def test_median_per_bin(self):
+        x = [5, 5, 5, 15, 15]
+        y = [1, 2, 3, 10, 20]
+        stats = bin_by_value(x, y, bin_width=10.0)
+        assert stats.median[0] == pytest.approx(2.0)
+        assert stats.median[1] == pytest.approx(15.0)
+
+    def test_percentile_ordering(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 100, size=500)
+        y = rng.uniform(0, 10, size=500)
+        stats = bin_by_value(x, y, bin_width=10.0)
+        mask = stats.counts > 0
+        assert np.all(stats.p10[mask] <= stats.median[mask] + 1e-12)
+        assert np.all(stats.median[mask] <= stats.p90[mask] + 1e-12)
+
+    def test_empty_bins_are_nan(self):
+        stats = bin_by_value([5, 35], [1, 2], bin_width=10.0)
+        assert np.isnan(stats.median[1])
+        assert stats.counts[1] == 0
+
+    def test_x_max_override_extends_bins(self):
+        stats = bin_by_value([1, 2], [1, 1], bin_width=10.0, x_max=50.0)
+        assert stats.n_bins == 5
+
+    def test_out_of_range_samples_dropped(self):
+        stats = bin_by_value([5, 500], [1, 99], bin_width=10.0, x_max=20.0)
+        assert stats.counts.sum() == 1
+
+    def test_bin_centers_match_edges(self):
+        stats = bin_by_value([1, 11], [0, 0], bin_width=10.0)
+        assert np.allclose(stats.bin_centers, (stats.bin_edges[:-1] + stats.bin_edges[1:]) / 2)
+
+    def test_nonempty_filters(self):
+        stats = bin_by_value([5, 35], [1, 2], bin_width=10.0)
+        filtered = stats.nonempty()
+        assert filtered.counts.tolist() == [1, 1]
+        assert filtered.bin_centers.size == 2
+
+    def test_as_dict_roundtrip(self):
+        stats = bin_by_value([5, 15], [1, 2], bin_width=10.0)
+        d = stats.as_dict()
+        assert set(d) == {"bin_centers", "counts", "p10", "median", "p90"}
+        assert len(d["median"]) == stats.n_bins

@@ -1,0 +1,87 @@
+"""Tests for repro.stats.summary."""
+
+import numpy as np
+import pytest
+
+from repro.stats.summary import (
+    absolute_errors,
+    median_absolute_error,
+    percentile_summary,
+    relative_errors,
+)
+
+
+def _example_pair():
+    measured = np.array(
+        [
+            [0.0, 10.0, 20.0],
+            [10.0, 0.0, 30.0],
+            [20.0, 30.0, 0.0],
+        ]
+    )
+    predicted = np.array(
+        [
+            [0.0, 12.0, 18.0],
+            [12.0, 0.0, 33.0],
+            [18.0, 33.0, 0.0],
+        ]
+    )
+    return measured, predicted
+
+
+class TestAbsoluteErrors:
+    def test_upper_triangle_count(self):
+        measured, predicted = _example_pair()
+        errors = absolute_errors(measured, predicted)
+        assert errors.size == 3
+        assert sorted(errors.tolist()) == [2.0, 2.0, 3.0]
+
+    def test_full_matrix_doubles(self):
+        measured, predicted = _example_pair()
+        errors = absolute_errors(measured, predicted, upper_only=False)
+        assert errors.size == 6
+
+    def test_missing_entries_skipped(self):
+        measured, predicted = _example_pair()
+        measured[0, 1] = measured[1, 0] = np.nan
+        errors = absolute_errors(measured, predicted)
+        assert errors.size == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            absolute_errors(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            absolute_errors(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+class TestRelativeAndMedian:
+    def test_relative_errors(self):
+        measured, predicted = _example_pair()
+        rel = relative_errors(measured, predicted)
+        assert rel.max() == pytest.approx(0.2)
+
+    def test_median_absolute_error(self):
+        measured, predicted = _example_pair()
+        assert median_absolute_error(measured, predicted) == pytest.approx(2.0)
+
+    def test_median_empty_raises(self):
+        measured = np.full((2, 2), np.nan)
+        np.fill_diagonal(measured, 0)
+        with pytest.raises(ValueError):
+            median_absolute_error(measured, measured)
+
+
+class TestPercentileSummary:
+    def test_keys_and_values(self):
+        summary = percentile_summary(np.arange(101), percentiles=(10, 50, 90))
+        assert summary == {"p10": 10.0, "p50": 50.0, "p90": 90.0}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_summary(np.array([]))
+
+    def test_nan_filtered(self):
+        summary = percentile_summary(np.array([1.0, np.nan, 3.0]), percentiles=(50,))
+        assert summary["p50"] == pytest.approx(2.0)

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestDatasetsCommand:
+    def test_lists_presets(self, capsys):
+        code, out, _ = run_cli(capsys, "datasets")
+        assert code == 0
+        rows = json.loads(out)
+        names = {row["name"] for row in rows}
+        assert {"ds2_like", "euclidean_like"} <= names
+        assert all("description" in row for row in rows)
+
+
+class TestGenerateAndAnalyze:
+    def test_generate_writes_npz(self, capsys, tmp_path):
+        target = tmp_path / "matrix.npz"
+        code, out, _ = run_cli(
+            capsys, "generate", "planetlab_like", "-o", str(target), "--nodes", "40"
+        )
+        assert code == 0
+        assert target.exists()
+        assert "40-node" in out
+
+    def test_analyze_preset(self, capsys):
+        code, out, _ = run_cli(capsys, "analyze", "--preset", "ds2_like", "--nodes", "50")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n_nodes"] == 50
+        assert 0 <= payload["violating_triangle_fraction"] <= 1
+        assert payload["severity"]["edges"] > 0
+
+    def test_analyze_from_file(self, capsys, tmp_path):
+        target = tmp_path / "matrix.npz"
+        run_cli(capsys, "generate", "p2psim_like", "-o", str(target), "--nodes", "30")
+        code, out, _ = run_cli(capsys, "analyze", "--input", str(target))
+        assert code == 0
+        assert json.loads(out)["n_nodes"] == 30
+
+    def test_analyze_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "analyze", "--input", str(tmp_path / "nope.npz"))
+        assert code == 1
+        assert "error" in err
+
+
+class TestExperimentsCommands:
+    def test_list_experiments(self, capsys):
+        code, out, _ = run_cli(capsys, "experiments")
+        assert code == 0
+        ids = json.loads(out)
+        assert "fig20" in ids and "fig25" in ids
+
+    def test_run_experiment_scalar_output(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig19", "--nodes", "60", "--seed", "1")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["experiment"] == "fig19"
+        assert "median_severity_shrunk" in payload["data"]
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig99")
+        assert code == 1
+        assert "unknown experiment" in err
+
+    def test_run_full_payload(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "fig09", "--nodes", "60", "--full")
+        assert code == 0
+        payload = json.loads(out)
+        assert "datasets" in payload["data"]
+
+    def test_report_to_stdout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "report", "--nodes", "60", "--only", "fig19", "fig09"
+        )
+        assert code == 0
+        assert "# Regenerated experiment results" in out
+        assert "## fig19" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "report.md"
+        code, out, _ = run_cli(
+            capsys, "report", "--nodes", "60", "--only", "fig09", "-o", str(target)
+        )
+        assert code == 0
+        assert target.exists()
+        assert "## fig09" in target.read_text()

@@ -1,0 +1,96 @@
+"""Tests for repro.tiv.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.clustering import classify_major_clusters
+from repro.tiv.analysis import (
+    cluster_severity_analysis,
+    severity_cdf,
+    severity_vs_delay,
+    within_cluster_fraction_vs_delay,
+)
+
+
+class TestSeverityCdf:
+    def test_cdf_covers_all_edges(self, small_internet_matrix, small_internet_severity):
+        cdf = severity_cdf(small_internet_severity)
+        assert len(cdf) == small_internet_severity.edge_severities().size
+
+    def test_cdf_range(self, small_internet_severity):
+        cdf = severity_cdf(small_internet_severity)
+        assert cdf.values.min() >= 0.0
+
+
+class TestSeverityVsDelay:
+    def test_bins_cover_edges(self, small_internet_matrix, small_internet_severity):
+        stats = severity_vs_delay(small_internet_matrix, small_internet_severity, bin_width=10.0)
+        assert stats.counts.sum() == small_internet_severity.edge_severities().size
+
+    def test_long_edges_worse_than_short(self, small_internet_matrix, small_internet_severity):
+        """Qualitative Fig. 4 check: long edges carry more severity on average."""
+        rows, cols = small_internet_matrix.edge_index_pairs()
+        delays = small_internet_matrix.values[rows, cols]
+        severities = small_internet_severity.severity[rows, cols]
+        short = severities[delays <= np.quantile(delays, 0.3)]
+        long = severities[delays >= np.quantile(delays, 0.7)]
+        assert long.mean() > short.mean()
+
+    def test_custom_bin_width(self, small_internet_matrix, small_internet_severity):
+        coarse = severity_vs_delay(small_internet_matrix, small_internet_severity, bin_width=100.0)
+        fine = severity_vs_delay(small_internet_matrix, small_internet_severity, bin_width=10.0)
+        assert coarse.n_bins < fine.n_bins
+
+
+class TestClusterSeverityAnalysis:
+    def test_reordered_matrix_shape(self, small_internet_matrix, small_internet_severity):
+        assignment = classify_major_clusters(small_internet_matrix)
+        analysis = cluster_severity_analysis(
+            small_internet_matrix, small_internet_severity, assignment
+        )
+        n = small_internet_matrix.n_nodes
+        assert analysis.reordered_severity.shape == (n, n)
+        assert sorted(analysis.order.tolist()) == list(range(n))
+
+    def test_cross_cluster_edges_cause_more_violations(
+        self, small_internet_matrix, small_internet_severity
+    ):
+        assignment = classify_major_clusters(small_internet_matrix)
+        analysis = cluster_severity_analysis(
+            small_internet_matrix, small_internet_severity, assignment
+        )
+        assert analysis.mean_cross_violations >= analysis.mean_within_violations
+
+    def test_means_are_finite(self, small_internet_matrix, small_internet_severity):
+        assignment = classify_major_clusters(small_internet_matrix)
+        analysis = cluster_severity_analysis(
+            small_internet_matrix, small_internet_severity, assignment
+        )
+        for value in (
+            analysis.mean_within_severity,
+            analysis.mean_cross_severity,
+            analysis.mean_within_violations,
+            analysis.mean_cross_violations,
+        ):
+            assert np.isfinite(value)
+
+
+class TestWithinClusterFraction:
+    def test_fraction_bounds(self, small_internet_matrix):
+        assignment = classify_major_clusters(small_internet_matrix)
+        centers, fraction, counts = within_cluster_fraction_vs_delay(
+            small_internet_matrix, assignment, bin_width=50.0
+        )
+        valid = ~np.isnan(fraction)
+        assert np.all(fraction[valid] >= 0.0)
+        assert np.all(fraction[valid] <= 1.0)
+        assert counts.sum() == small_internet_matrix.edge_delays().size
+
+    def test_short_edges_mostly_within_cluster(self, small_internet_matrix):
+        assignment = classify_major_clusters(small_internet_matrix)
+        centers, fraction, counts = within_cluster_fraction_vs_delay(
+            small_internet_matrix, assignment, bin_width=50.0
+        )
+        valid = np.flatnonzero(~np.isnan(fraction))
+        # The shortest populated bin should be more "within cluster" than the longest.
+        assert fraction[valid[0]] >= fraction[valid[-1]]

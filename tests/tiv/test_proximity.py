@@ -1,0 +1,49 @@
+"""Tests for repro.tiv.proximity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DelayMatrixError
+from repro.tiv.proximity import proximity_analysis
+
+
+class TestProximityAnalysis:
+    def test_output_sizes(self, small_internet_matrix, small_internet_severity):
+        result = proximity_analysis(
+            small_internet_matrix, small_internet_severity, n_samples=500, rng=0
+        )
+        assert result.nearest_pair_differences.size == result.random_pair_differences.size
+        assert result.nearest_pair_differences.size > 0
+
+    def test_differences_nonnegative(self, small_internet_matrix, small_internet_severity):
+        result = proximity_analysis(
+            small_internet_matrix, small_internet_severity, n_samples=500, rng=1
+        )
+        assert np.all(result.nearest_pair_differences >= 0)
+        assert np.all(result.random_pair_differences >= 0)
+
+    def test_cdfs_evaluable(self, small_internet_matrix, small_internet_severity):
+        result = proximity_analysis(
+            small_internet_matrix, small_internet_severity, n_samples=200, rng=2
+        )
+        assert 0.0 <= result.nearest_cdf()(0.1) <= 1.0
+        assert 0.0 <= result.random_cdf()(0.1) <= 1.0
+
+    def test_reproducible(self, small_internet_matrix, small_internet_severity):
+        a = proximity_analysis(small_internet_matrix, small_internet_severity, n_samples=300, rng=5)
+        b = proximity_analysis(small_internet_matrix, small_internet_severity, n_samples=300, rng=5)
+        assert np.array_equal(a.nearest_pair_differences, b.nearest_pair_differences)
+        assert np.array_equal(a.random_pair_differences, b.random_pair_differences)
+
+    def test_nearest_not_dramatically_better(self, small_internet_matrix, small_internet_severity):
+        """The paper's point: proximity gives at best a slight similarity edge."""
+        result = proximity_analysis(
+            small_internet_matrix, small_internet_severity, n_samples=2000, rng=3
+        )
+        gap = result.median_gap()
+        spread = float(np.median(result.random_pair_differences)) + 1e-9
+        assert gap <= spread  # nearest pairs are not overwhelmingly more similar
+
+    def test_invalid_samples_raises(self, small_internet_matrix, small_internet_severity):
+        with pytest.raises(DelayMatrixError):
+            proximity_analysis(small_internet_matrix, small_internet_severity, n_samples=0)

@@ -1,0 +1,153 @@
+"""Tests for repro.tiv.severity."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.matrix import DelayMatrix
+from repro.errors import DelayMatrixError
+from repro.tiv.severity import (
+    compute_tiv_severity,
+    edge_tiv_severity,
+    triangulation_ratios,
+    violating_triangle_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def tiv_matrix() -> DelayMatrix:
+    delays = np.array(
+        [
+            [0.0, 5.0, 100.0, 40.0],
+            [5.0, 0.0, 5.0, 38.0],
+            [100.0, 5.0, 0.0, 36.0],
+            [40.0, 38.0, 36.0, 0.0],
+        ]
+    )
+    return DelayMatrix(delays, symmetrize=False)
+
+
+class TestTriangulationRatios:
+    def test_violating_edge_has_ratios(self, tiv_matrix):
+        ratios = triangulation_ratios(tiv_matrix, 0, 2)
+        assert ratios.size == 2  # witnesses: node 1 (5+5) and node 3 (40+36)
+        assert np.all(ratios > 1.0)
+        assert ratios.max() == pytest.approx(10.0)
+
+    def test_non_violating_edge_empty(self, tiv_matrix):
+        assert triangulation_ratios(tiv_matrix, 0, 1).size == 0
+
+    def test_same_endpoints_raise(self, tiv_matrix):
+        with pytest.raises(DelayMatrixError):
+            triangulation_ratios(tiv_matrix, 1, 1)
+
+    def test_missing_edge_raises(self):
+        delays = np.array([[0.0, np.nan, 5.0], [np.nan, 0.0, 5.0], [5.0, 5.0, 0.0]])
+        matrix = DelayMatrix(delays, symmetrize=False)
+        with pytest.raises(DelayMatrixError):
+            triangulation_ratios(matrix, 0, 1)
+
+
+class TestComputeTivSeverity:
+    def test_manual_value(self, tiv_matrix):
+        result = compute_tiv_severity(tiv_matrix)
+        expected = (100.0 / 10.0 + 100.0 / 76.0) / 4.0
+        assert result.edge_severity(0, 2) == pytest.approx(expected)
+
+    def test_symmetry(self, tiv_matrix):
+        result = compute_tiv_severity(tiv_matrix)
+        sev = result.severity
+        finite = np.isfinite(sev)
+        assert np.allclose(sev[finite], sev.T[finite])
+
+    def test_matches_single_edge_function(self, tiv_matrix):
+        result = compute_tiv_severity(tiv_matrix)
+        for i, j, _ in tiv_matrix.edges():
+            assert result.edge_severity(i, j) == pytest.approx(edge_tiv_severity(tiv_matrix, i, j))
+
+    def test_diagonal_nan(self, tiv_matrix):
+        result = compute_tiv_severity(tiv_matrix)
+        assert np.all(np.isnan(np.diag(result.severity)))
+
+    def test_euclidean_matrix_all_zero(self, euclidean_matrix):
+        result = compute_tiv_severity(euclidean_matrix)
+        assert np.all(result.edge_severities() == 0.0)
+        assert np.all(result.violation_counts == 0)
+
+    def test_violation_counts(self, tiv_matrix):
+        result = compute_tiv_severity(tiv_matrix)
+        assert result.violation_counts[0, 2] == 2
+        assert result.violation_counts[0, 1] == 0
+
+    def test_missing_edges_have_nan_severity(self):
+        delays = np.array(
+            [
+                [0.0, np.nan, 20.0],
+                [np.nan, 0.0, 10.0],
+                [20.0, 10.0, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        result = compute_tiv_severity(matrix)
+        assert np.isnan(result.severity[0, 1])
+        assert result.edge_severities().size == 2
+
+    def test_missing_witness_not_counted(self):
+        # Node 1's delays are unknown to node 3, so node 1 cannot witness a
+        # violation for edge (0, 3) even though it would if measured.
+        delays = np.array(
+            [
+                [0.0, 5.0, 30.0, 100.0],
+                [5.0, 0.0, 30.0, np.nan],
+                [30.0, 30.0, 0.0, 90.0],
+                [100.0, np.nan, 90.0, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        result = compute_tiv_severity(matrix)
+        assert result.violation_counts[0, 3] == 0
+
+
+class TestWorstEdgesAndSummary:
+    def test_worst_edges_fraction(self, small_internet_severity):
+        worst = small_internet_severity.worst_edges(0.1)
+        total_edges = small_internet_severity.edge_severities().size
+        assert len(worst) == int(round(0.1 * total_edges))
+        assert all(i < j for i, j in worst)
+
+    def test_worst_edges_are_actually_worst(self, small_internet_severity):
+        worst = small_internet_severity.worst_edges(0.05)
+        threshold = small_internet_severity.severity_threshold(0.05)
+        values = [small_internet_severity.edge_severity(i, j) for i, j in worst]
+        assert min(values) >= threshold - 1e-9
+
+    def test_worst_edges_invalid_fraction(self, small_internet_severity):
+        with pytest.raises(ValueError):
+            small_internet_severity.worst_edges(0.0)
+        with pytest.raises(ValueError):
+            small_internet_severity.severity_threshold(2.0)
+
+    def test_summary_keys(self, small_internet_severity):
+        summary = small_internet_severity.summary()
+        assert summary["edges"] > 0
+        assert 0 <= summary["fraction_nonzero"] <= 1
+        assert summary["max"] >= summary["p90"] >= summary["median"]
+
+
+class TestViolatingTriangleFraction:
+    def test_tiny_matrix_exact(self, tiv_matrix):
+        # Triangles: (0,1,2) violated by edge 02; (0,1,3), (0,2,3), (1,2,3).
+        # 0-2=100 vs 40+36=76 -> (0,2,3) violated too.
+        assert violating_triangle_fraction(tiv_matrix) == pytest.approx(0.5)
+
+    def test_euclidean_zero(self, euclidean_matrix):
+        assert violating_triangle_fraction(euclidean_matrix) == 0.0
+
+    def test_sampled_close_to_exact(self, small_internet_matrix):
+        exact = violating_triangle_fraction(small_internet_matrix, max_triangles=None)
+        sampled = violating_triangle_fraction(small_internet_matrix, max_triangles=20_000, rng=0)
+        assert abs(exact - sampled) < 0.05
+
+    def test_too_few_nodes_raises(self):
+        matrix = DelayMatrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(DelayMatrixError):
+            violating_triangle_fraction(matrix)
