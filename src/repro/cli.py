@@ -8,6 +8,9 @@ driven without writing Python::
     python -m repro analyze --preset ds2_like     # TIV severity summary
     python -m repro experiments                   # list figure runners
     python -m repro run fig20 --nodes 300         # regenerate one figure
+    python -m repro run-all --jobs 4 \
+        --cache-dir .cache/experiments \
+        --report BENCH_experiments.json           # full parallel cached sweep
 """
 
 from __future__ import annotations
@@ -123,6 +126,40 @@ def _scalars_only(data, depth: int = 0):
     return None
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments.engine import run_experiments
+
+    config = ExperimentConfig(n_nodes=args.nodes, seed=args.seed)
+    outcome = run_experiments(
+        config,
+        only=args.only,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        report_path=args.report,
+    )
+    payload = outcome.report.as_dict()
+    if not args.full:
+        # The full per-experiment data payloads stay in-process; the CLI
+        # prints the run report (timings + cache accounting) by default.
+        _print_json(payload)
+    else:
+        _print_json(
+            {
+                "report": payload,
+                "results": {
+                    experiment_id: {
+                        "title": result.title,
+                        "data": _scalars_only(result.data),
+                    }
+                    for experiment_id, result in outcome.results.items()
+                },
+            }
+        )
+    if args.report:
+        print(f"wrote run report to {args.report}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -172,13 +209,43 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true", help="emit the full data payload")
     run.set_defaults(func=_cmd_run)
 
+    run_all = sub.add_parser(
+        "run-all",
+        help="run every figure experiment through the parallel cached engine",
+    )
+    run_all.add_argument("--nodes", type=int, default=240)
+    run_all.add_argument("--seed", type=int, default=0)
+    run_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = sequential in-process, 0 = one per CPU)",
+    )
+    run_all.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory; a second run with the same config is served from it",
+    )
+    run_all.add_argument(
+        "--report",
+        default=None,
+        help="write the structured run report (BENCH_experiments.json) here",
+    )
+    run_all.add_argument(
+        "--only", nargs="+", default=None, help="subset of experiment ids to run"
+    )
+    run_all.add_argument(
+        "--full", action="store_true", help="also emit scalar result payloads"
+    )
+    run_all.set_defaults(func=_cmd_run_all)
+
     report = sub.add_parser(
         "report", help="run experiments and render a Markdown results report"
     )
     report.add_argument("--nodes", type=int, default=240)
     report.add_argument("--seed", type=int, default=0)
     report.add_argument(
-        "--only", nargs="*", default=None, help="subset of experiment ids to include"
+        "--only", nargs="+", default=None, help="subset of experiment ids to include"
     )
     report.add_argument("-o", "--output", default=None, help="write the report to a file")
     report.set_defaults(func=_cmd_report)

@@ -235,6 +235,35 @@ class VivaldiSystem(DelayPredictor):
         for _ in range(int(seconds)):
             self.step()
 
+    def restore_state(
+        self, coordinates: np.ndarray, errors: np.ndarray, simulation_time: float
+    ) -> None:
+        """Overwrite the embedding state with a previously captured snapshot.
+
+        Used by the experiment artifact cache to rehydrate a converged
+        embedding without re-running the spring simulation.  Prediction
+        queries on a restored system are identical to the original; note
+        that *continuing* the simulation afterwards is not guaranteed to
+        replay the original probe sequence (the RNG and neighbour lists are
+        not part of the snapshot).
+        """
+        coordinates = np.asarray(coordinates, dtype=float)
+        errors = np.asarray(errors, dtype=float)
+        if coordinates.shape != self._coords.shape:
+            raise EmbeddingError(
+                f"expected coordinates of shape {self._coords.shape}, got {coordinates.shape}"
+            )
+        if errors.shape != self._errors.shape:
+            raise EmbeddingError(
+                f"expected errors of shape {self._errors.shape}, got {errors.shape}"
+            )
+        if simulation_time < 0:
+            raise EmbeddingError("simulation_time must be non-negative")
+        self._coords = coordinates.copy()
+        self._errors = errors.copy()
+        self._time = float(simulation_time)
+        self._last_movement = np.zeros(self.n_nodes)
+
     # -- prediction interface -------------------------------------------------
 
     def predict(self, i: int, j: int) -> float:

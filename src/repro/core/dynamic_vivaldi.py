@@ -23,7 +23,6 @@ the global knowledge the §4.3 strawman needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
 
 import numpy as np
 

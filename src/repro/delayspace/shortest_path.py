@@ -13,6 +13,7 @@ matrix sizes used by the experiment harness.
 from __future__ import annotations
 
 import numpy as np
+from scipy.sparse.csgraph import csgraph_from_masked
 from scipy.sparse.csgraph import shortest_path as _csgraph_shortest_path
 
 from repro.delayspace.matrix import DelayMatrix
@@ -34,7 +35,10 @@ def shortest_path_matrix(matrix: DelayMatrix, *, method: str = "auto") -> np.nda
         (``"auto"``, ``"FW"``, ``"D"``...).
     """
     delays = matrix.to_array()
-    graph = np.where(np.isfinite(delays), delays, 0.0)
+    # An explicit missing-entry mask keeps measured zero-delay edges (e.g.
+    # co-located nodes) in the graph: a dense csgraph input would treat
+    # every 0 entry as "no edge" and silently drop them.
+    graph = csgraph_from_masked(np.ma.masked_array(delays, mask=~np.isfinite(delays)))
     dist = _csgraph_shortest_path(graph, method=method, directed=False)
     return np.asarray(dist, dtype=float)
 
@@ -55,7 +59,10 @@ def detour_gains(matrix: DelayMatrix, shortest: np.ndarray | None = None) -> np.
     direct = matrix.values[rows, cols]
     alt = shortest[rows, cols]
     with np.errstate(divide="ignore", invalid="ignore"):
-        gains = np.where(alt > 0, direct / alt, 1.0)
+        # alt == 0 splits two ways: a zero-delay edge whose shortest path is
+        # itself (neutral gain 1), and a positive edge with a zero-length
+        # detour through co-located nodes (an unboundedly severe violation).
+        gains = np.where(alt > 0, direct / alt, np.where(direct > 0, np.inf, 1.0))
     return np.asarray(gains, dtype=float)
 
 

@@ -12,8 +12,10 @@ by id (e.g. ``"fig20"``) and :func:`repro.experiments.registry.list_experiments`
 to enumerate them.
 """
 
+from repro.experiments.cache import ArtifactCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+from repro.experiments.engine import ExperimentEngine, RunReport, run_experiments
 from repro.experiments.registry import (
     list_experiments,
     run_all_experiments,
@@ -22,10 +24,14 @@ from repro.experiments.registry import (
 from repro.experiments.result import ExperimentResult
 
 __all__ = [
+    "ArtifactCache",
     "ExperimentConfig",
     "ExperimentContext",
+    "ExperimentEngine",
     "ExperimentResult",
+    "RunReport",
     "list_experiments",
     "run_experiment",
     "run_all_experiments",
+    "run_experiments",
 ]

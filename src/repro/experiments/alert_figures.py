@@ -35,10 +35,14 @@ from repro.stats.cdf import ECDF
 
 
 def fig19_severity_vs_ratio(
-    config: ExperimentConfig | None = None, *, bin_width: float = 0.1, max_ratio: float = 5.0
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    bin_width: float = 0.1,
+    max_ratio: float = 5.0,
 ) -> ExperimentResult:
     """Figure 19: TIV severity of edges with different prediction ratios."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     stats = severity_vs_prediction_ratio(
         ctx.matrix, ctx.severity, ctx.alert, bin_width=bin_width, max_ratio=max_ratio
     )
@@ -72,10 +76,11 @@ def fig19_severity_vs_ratio(
 def fig20_alert_accuracy(
     config: ExperimentConfig | None = None,
     *,
+    context: ExperimentContext | None = None,
     target_fractions: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20),
 ) -> ExperimentResult:
     """Figure 20: accuracy of the TIV alert across ratio thresholds."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     curves = {}
     for fraction in target_fractions:
         evaluation = ctx.alert.evaluate(ctx.severity, target_fraction=fraction)
@@ -98,10 +103,11 @@ def fig20_alert_accuracy(
 def fig21_alert_recall(
     config: ExperimentConfig | None = None,
     *,
+    context: ExperimentContext | None = None,
     target_fractions: tuple[float, ...] = (0.01, 0.05, 0.10, 0.20),
 ) -> ExperimentResult:
     """Figure 21: recall of the TIV alert across ratio thresholds."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     curves = {}
     for fraction in target_fractions:
         evaluation = ctx.alert.evaluate(ctx.severity, target_fraction=fraction)
@@ -124,6 +130,7 @@ def fig21_alert_recall(
 def fig22_23_dynamic_neighbor(
     config: ExperimentConfig | None = None,
     *,
+    context: ExperimentContext | None = None,
     iterations: int = 5,
     report_iterations: tuple[int, ...] = (1, 2, 5),
 ) -> ExperimentResult:
@@ -133,7 +140,7 @@ def fig22_23_dynamic_neighbor(
     neighbour run: Fig. 22 is the severity CDF of the neighbour edges per
     iteration, Fig. 23 is the neighbour-selection penalty per iteration.
     """
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     cfg = ctx.config
     dynamic_config = DynamicVivaldiConfig(period=cfg.vivaldi_seconds)
     dynamic = DynamicNeighborVivaldi(ctx.matrix, dynamic_config, rng=cfg.seed + 8)
@@ -245,9 +252,11 @@ def _meridian_alert_comparison(
     return results
 
 
-def fig24_meridian_alert_normal(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig24_meridian_alert_normal(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 24: TIV-aware Meridian in the normal setting."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     results = _meridian_alert_comparison(
         ctx,
         n_meridian=ctx.config.n_meridian,
@@ -265,9 +274,11 @@ def fig24_meridian_alert_normal(config: ExperimentConfig | None = None) -> Exper
     )
 
 
-def fig25_meridian_alert_small(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig25_meridian_alert_small(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 25: TIV-aware Meridian with a small, full-membership population."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     results = _meridian_alert_comparison(
         ctx,
         n_meridian=ctx.config.n_meridian_small,

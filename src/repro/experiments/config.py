@@ -8,7 +8,7 @@ the qualitative shape of every result.  Pass a custom
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 

@@ -1,10 +1,17 @@
 """Lazily cached shared artefacts for the experiment runners.
 
 Several figures need the same expensive intermediates — the DS²-like delay
-matrix, its TIV severities, a converged Vivaldi embedding, and the TIV alert
-built from that embedding.  :class:`ExperimentContext` computes each of them
-at most once per configuration so a sequence of runners (or a benchmark
-session) does not repeat the work.
+matrix, its TIV severities, the all-pairs shortest-path matrix, a converged
+Vivaldi embedding, and the TIV alert built from that embedding.
+:class:`ExperimentContext` computes each of them at most once per
+configuration so a sequence of runners (or a benchmark session) does not
+repeat the work.
+
+When constructed with an :class:`~repro.experiments.cache.ArtifactCache`
+the context additionally persists every artefact to disk, content-addressed
+by the parameters that determine it.  A second run of the same
+configuration is then served entirely from the cache, and parallel workers
+(see :mod:`repro.experiments.engine`) share the artefacts across processes.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
 from repro.delayspace.clustering import ClusterAssignment, classify_major_clusters
 from repro.delayspace.datasets import load_dataset
 from repro.delayspace.matrix import DelayMatrix
+from repro.delayspace.shortest_path import shortest_path_matrix
+from repro.experiments.cache import ArtifactCache
 from repro.experiments.config import ExperimentConfig
 from repro.neighbor.selection import CoordinateSelectionExperiment
 from repro.tiv.severity import TIVSeverityResult, compute_tiv_severity
@@ -30,70 +39,288 @@ class ExperimentContext:
     ----------
     config:
         The experiment configuration; defaults to the scaled-down defaults.
+    cache:
+        Optional on-disk artifact cache.  When given, every artefact is
+        loaded from / stored to the cache in addition to the in-memory
+        memoisation, making repeated and multi-process runs incremental.
     """
 
-    def __init__(self, config: ExperimentConfig | None = None):
+    @classmethod
+    def resolve(
+        cls,
+        config: ExperimentConfig | None = None,
+        context: "ExperimentContext | None" = None,
+    ) -> "ExperimentContext":
+        """The shared ``context`` when one is given, else a fresh one for ``config``.
+
+        Every figure runner accepts ``(config, *, context)``; this is the
+        single place that implements the precedence (an explicit context
+        carries its own configuration and wins).
+        """
+        if context is not None:
+            return context
+        return cls(config)
+
+    def __init__(
+        self, config: ExperimentConfig | None = None, *, cache: ArtifactCache | None = None
+    ):
         self.config = config if config is not None else ExperimentConfig()
-        self._matrix: Optional[DelayMatrix] = None
-        self._clusters: Optional[np.ndarray] = None
+        self.cache = cache
+        self._matrices: dict[tuple[str, int], DelayMatrix] = {}
+        self._ground_truth: dict[tuple[str, int], np.ndarray] = {}
+        self._severities: dict[tuple[str, int], TIVSeverityResult] = {}
         self._cluster_assignment: Optional[ClusterAssignment] = None
-        self._severity: Optional[TIVSeverityResult] = None
+        self._shortest_paths: Optional[np.ndarray] = None
         self._vivaldi: Optional[VivaldiSystem] = None
         self._alert: Optional[TIVAlert] = None
 
+    # -- cache plumbing --------------------------------------------------------
+
+    def _matrix_params(self, preset: str, n_nodes: int) -> dict:
+        return {"preset": preset, "n_nodes": int(n_nodes), "seed": self.config.seed}
+
+    def _embedding_params(self) -> dict:
+        """Parameters that fully determine the Vivaldi embedding (and alert).
+
+        Deliberately narrower than the full config fingerprint: selection
+        and Meridian knobs (``max_clients``, ``selection_runs``, ...) never
+        enter the embedding, so changing them must not invalidate the most
+        expensive cached artefacts.
+        """
+        return {
+            "preset": self.config.dataset,
+            "n_nodes": self.config.n_nodes,
+            "seed": self.config.seed,
+            "vivaldi_seconds": self.config.vivaldi_seconds,
+        }
+
+    def _restore_cached(self, kind: str, params: dict, restore):
+        """Load a cache entry and rebuild the artefact, self-healing on failure.
+
+        ``restore`` maps a :class:`~repro.experiments.cache.CacheEntry` to
+        the artefact.  An entry whose stored arrays/metadata do not match
+        what ``restore`` expects (e.g. written by an incompatible version
+        into a persistent cache dir) is evicted and reclassified as a miss
+        so the caller recomputes, keeping the cache's documented
+        corrupted-entries-are-recomputed contract.
+        """
+        if self.cache is None:
+            return None
+        entry = self.cache.load(kind, params)
+        if entry is None:
+            return None
+        try:
+            return restore(entry)
+        except Exception:
+            self.cache.evict(kind, params)
+            self.cache.stats.hits -= 1
+            self.cache.stats.misses += 1
+            return None
+
+    def _load_dataset_bundle(self, preset: str, n_nodes: int) -> None:
+        """Materialise (and cache) the matrix + ground-truth clusters of a preset."""
+        key = (preset, n_nodes)
+        if key in self._matrices:
+            return
+        params = self._matrix_params(preset, n_nodes)
+        restored = self._restore_cached(
+            "dataset",
+            params,
+            lambda entry: (
+                DelayMatrix(
+                    entry.arrays["delays"],
+                    labels=entry.meta["labels"],
+                    symmetrize=False,
+                ),
+                entry.arrays["clusters"],
+            ),
+        )
+        if restored is not None:
+            self._matrices[key], self._ground_truth[key] = restored
+            return
+        matrix, clusters = load_dataset(
+            preset, n_nodes=n_nodes, rng=self.config.seed, return_clusters=True
+        )
+        self._matrices[key] = matrix
+        self._ground_truth[key] = np.asarray(clusters)
+        if self.cache is not None:
+            self.cache.store(
+                "dataset",
+                params,
+                {"delays": matrix.values, "clusters": np.asarray(clusters)},
+                meta={"labels": list(matrix.labels)},
+            )
+
     # -- substrate -------------------------------------------------------------
+
+    def dataset_matrix(self, preset: str, n_nodes: int | None = None) -> DelayMatrix:
+        """The synthetic delay matrix for ``preset`` at ``n_nodes`` (cached).
+
+        Runners that sweep several data sets (Figs. 2, 4–7, 9, 14) route
+        their matrix loads through this method so the matrices are shared
+        in-memory and, when a cache is attached, on disk.
+        """
+        count = int(n_nodes) if n_nodes is not None else self.config.n_nodes
+        self._load_dataset_bundle(preset, count)
+        return self._matrices[(preset, count)]
+
+    def dataset_severity(self, preset: str, n_nodes: int | None = None) -> TIVSeverityResult:
+        """TIV severities of ``dataset_matrix(preset, n_nodes)`` (cached)."""
+        count = int(n_nodes) if n_nodes is not None else self.config.n_nodes
+        key = (preset, count)
+        if key in self._severities:
+            return self._severities[key]
+        params = self._matrix_params(preset, count)
+        restored = self._restore_cached(
+            "severity",
+            params,
+            lambda entry: TIVSeverityResult(
+                severity=entry.arrays["severity"],
+                violation_counts=entry.arrays["violation_counts"],
+                n_nodes=int(entry.meta["n_nodes"]),
+            ),
+        )
+        if restored is not None:
+            self._severities[key] = restored
+            return restored
+        result = compute_tiv_severity(self.dataset_matrix(preset, count))
+        self._severities[key] = result
+        if self.cache is not None:
+            self.cache.store(
+                "severity",
+                params,
+                {"severity": result.severity, "violation_counts": result.violation_counts},
+                meta={"n_nodes": result.n_nodes},
+            )
+        return result
 
     @property
     def matrix(self) -> DelayMatrix:
         """The synthetic delay matrix for ``config.dataset``."""
-        if self._matrix is None:
-            self._matrix, self._clusters = load_dataset(
-                self.config.dataset,
-                n_nodes=self.config.n_nodes,
-                rng=self.config.seed,
-                return_clusters=True,
-            )
-        return self._matrix
+        return self.dataset_matrix(self.config.dataset, self.config.n_nodes)
 
     @property
     def ground_truth_clusters(self) -> np.ndarray:
         """Ground-truth cluster labels of the synthetic matrix."""
         _ = self.matrix
-        return self._clusters
+        return self._ground_truth[(self.config.dataset, self.config.n_nodes)]
 
     @property
     def cluster_assignment(self) -> ClusterAssignment:
         """Clusters recovered by the paper's clustering procedure."""
-        if self._cluster_assignment is None:
-            self._cluster_assignment = classify_major_clusters(self.matrix)
-        return self._cluster_assignment
+        if self._cluster_assignment is not None:
+            return self._cluster_assignment
+        params = self._matrix_params(self.config.dataset, self.config.n_nodes)
+        restored = self._restore_cached(
+            "clusters",
+            params,
+            lambda entry: ClusterAssignment(
+                labels=entry.arrays["labels"].astype(int),
+                n_clusters=int(entry.meta["n_clusters"]),
+                cluster_radius=float(entry.meta["cluster_radius"]),
+                heads=tuple(int(h) for h in entry.meta["heads"]),
+            ),
+        )
+        if restored is not None:
+            self._cluster_assignment = restored
+            return restored
+        assignment = classify_major_clusters(self.matrix)
+        self._cluster_assignment = assignment
+        if self.cache is not None:
+            self.cache.store(
+                "clusters",
+                params,
+                {"labels": assignment.labels},
+                meta={
+                    "n_clusters": assignment.n_clusters,
+                    "cluster_radius": assignment.cluster_radius,
+                    "heads": list(assignment.heads),
+                },
+            )
+        return assignment
 
     # -- analysis --------------------------------------------------------------
 
     @property
     def severity(self) -> TIVSeverityResult:
         """TIV severities of the matrix."""
-        if self._severity is None:
-            self._severity = compute_tiv_severity(self.matrix)
-        return self._severity
+        return self.dataset_severity(self.config.dataset, self.config.n_nodes)
+
+    @property
+    def shortest_paths(self) -> np.ndarray:
+        """All-pairs shortest-path delay matrix of :attr:`matrix` (Fig. 8)."""
+        if self._shortest_paths is not None:
+            return self._shortest_paths
+        params = self._matrix_params(self.config.dataset, self.config.n_nodes)
+        restored = self._restore_cached(
+            "shortest_path", params, lambda entry: entry.arrays["shortest"]
+        )
+        if restored is not None:
+            self._shortest_paths = restored
+            return restored
+        shortest = shortest_path_matrix(self.matrix)
+        self._shortest_paths = shortest
+        if self.cache is not None:
+            self.cache.store("shortest_path", params, {"shortest": shortest})
+        return shortest
 
     @property
     def vivaldi(self) -> VivaldiSystem:
         """A Vivaldi embedding converged for ``config.vivaldi_seconds``."""
-        if self._vivaldi is None:
-            system = VivaldiSystem(
-                self.matrix, VivaldiConfig(), rng=self.config.seed + 1
+        if self._vivaldi is not None:
+            return self._vivaldi
+        params = self._embedding_params()
+
+        def _restore_vivaldi(entry):
+            system = VivaldiSystem(self.matrix, VivaldiConfig(), rng=self.config.seed + 1)
+            system.restore_state(
+                entry.arrays["coordinates"],
+                entry.arrays["errors"],
+                float(entry.meta["simulation_time"]),
             )
-            system.run(self.config.vivaldi_seconds)
-            self._vivaldi = system
-        return self._vivaldi
+            return system
+
+        restored = self._restore_cached("vivaldi", params, _restore_vivaldi)
+        if restored is not None:
+            self._vivaldi = restored
+            return restored
+        system = VivaldiSystem(self.matrix, VivaldiConfig(), rng=self.config.seed + 1)
+        system.run(self.config.vivaldi_seconds)
+        self._vivaldi = system
+        if self.cache is not None:
+            self.cache.store(
+                "vivaldi",
+                params,
+                {"coordinates": system.coordinates, "errors": system.errors},
+                meta={"simulation_time": system.simulation_time},
+            )
+        return system
 
     @property
     def alert(self) -> TIVAlert:
         """The TIV alert built from the converged Vivaldi embedding."""
-        if self._alert is None:
-            self._alert = TIVAlert(self.matrix, self.vivaldi)
-        return self._alert
+        if self._alert is not None:
+            return self._alert
+        params = self._embedding_params()
+        restored = self._restore_cached(
+            "alert",
+            params,
+            lambda entry: TIVAlert.from_ratio_matrix(
+                self.matrix, entry.arrays["ratios"], entry.arrays["predicted"]
+            ),
+        )
+        if restored is not None:
+            self._alert = restored
+            return restored
+        alert = TIVAlert(self.matrix, self.vivaldi)
+        self._alert = alert
+        if self.cache is not None:
+            self.cache.store(
+                "alert",
+                params,
+                {"ratios": alert.ratio_matrix, "predicted": alert.predicted_matrix},
+            )
+        return alert
 
     # -- harness helpers -------------------------------------------------------
 

@@ -1,0 +1,516 @@
+"""Parallel, cached execution engine for the figure experiments.
+
+The 20 figure runners are independent of each other: they share expensive
+intermediates (delay matrix, TIV severities, shortest paths, the converged
+Vivaldi embedding, the TIV alert) but never each other's *results*.  The
+engine exploits both facts:
+
+* **Caching** — with a cache directory, the shared intermediates the
+  requested experiments need are materialised once up front (the engine's
+  warm phase) and persisted through
+  :class:`~repro.experiments.cache.ArtifactCache`; a second run of the same
+  configuration is served entirely from disk.
+* **Parallelism** — with ``jobs > 1`` the runners fan out across a
+  :class:`concurrent.futures.ProcessPoolExecutor`; each worker rehydrates
+  the shared artefacts from the on-disk cache instead of recomputing them.
+
+Every run produces a structured :class:`RunReport` (per-experiment
+wall-clock seconds and cache hit/miss counters) which ``repro run-all``
+serialises as ``BENCH_experiments.json``; the CI pipeline asserts a warm
+second run reports zero misses.
+
+Determinism: every runner derives all randomness from the configuration
+seed, so sequential, parallel, cold-cache and warm-cache runs all produce
+identical :class:`ExperimentResult` payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.cache import ArtifactCache, CacheStats, config_fingerprint
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.result import ExperimentResult
+
+PathLike = Union[str, Path]
+
+#: Schema identifier written into BENCH_experiments.json.
+REPORT_SCHEMA = "bench-experiments/v1"
+
+#: Shared artefacts each figure runner touches, used to scope the warm
+#: phase to what a ``--only`` subset actually needs.  ``"datasets"`` covers
+#: the four scaled measured-data presets plus their severities (Figs. 2,
+#: 4-7, 9); ``"euclidean"`` the TIV-free Fig. 14 baseline.  An experiment
+#: missing from this map warms everything — the safe default for future
+#: runners.
+_ALL_ARTIFACTS = frozenset(
+    {"matrix", "clusters", "severity", "shortest", "vivaldi", "alert", "datasets", "euclidean"}
+)
+_ARTIFACT_NEEDS: dict[str, frozenset[str]] = {
+    "fig02": frozenset({"datasets"}),
+    "fig03": frozenset({"matrix", "clusters", "severity"}),
+    "fig04_07": frozenset({"datasets"}),
+    "fig08": frozenset({"matrix", "clusters", "shortest"}),
+    "fig09": frozenset({"datasets"}),
+    "fig10": frozenset(),
+    "fig11": frozenset({"matrix"}),
+    "text_3_2_1": frozenset({"matrix", "vivaldi"}),
+    "fig13": frozenset({"matrix"}),
+    "fig14": frozenset({"matrix", "euclidean"}),
+    "fig15": frozenset({"matrix", "vivaldi"}),
+    "fig16": frozenset({"matrix", "vivaldi"}),
+    "fig17": frozenset({"matrix", "severity", "vivaldi"}),
+    "fig18": frozenset({"matrix", "severity"}),
+    "fig19": frozenset({"matrix", "severity", "vivaldi", "alert"}),
+    "fig20": frozenset({"matrix", "severity", "vivaldi", "alert"}),
+    "fig21": frozenset({"matrix", "severity", "vivaldi", "alert"}),
+    "fig22_23": frozenset({"matrix", "severity"}),
+    "fig24": frozenset({"matrix", "vivaldi", "alert"}),
+    "fig25": frozenset({"matrix", "vivaldi", "alert"}),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentRunRecord:
+    """Timing and cache accounting of one experiment execution."""
+
+    experiment_id: str
+    wall_seconds: float
+    cache: CacheStats = field(default_factory=CacheStats)
+    status: str = "ok"
+    error: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = {
+            "id": self.experiment_id,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cache": self.cache.as_dict(),
+            "status": self.status,
+        }
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class RunReport:
+    """Structured report of one engine run (the BENCH_experiments.json payload)."""
+
+    config: dict[str, Any]
+    jobs: int
+    cache_dir: Optional[str]
+    records: list[ExperimentRunRecord] = field(default_factory=list)
+    shared: Optional[ExperimentRunRecord] = None
+    wall_seconds: float = 0.0
+
+    def total_cache(self) -> CacheStats:
+        """Cache counters summed over the shared phase and every experiment."""
+        total = CacheStats()
+        phases = list(self.records) + ([self.shared] if self.shared is not None else [])
+        for record in phases:
+            total.hits += record.cache.hits
+            total.misses += record.cache.misses
+            total.stores += record.cache.stores
+        return total
+
+    @property
+    def all_cache_hits(self) -> bool:
+        """True when the run touched the cache and never missed (a warm run)."""
+        total = self.total_cache()
+        return total.misses == 0 and total.hits > 0
+
+    def as_dict(self) -> dict[str, Any]:
+        total = self.total_cache()
+        return {
+            "schema": REPORT_SCHEMA,
+            "config": self.config,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "shared_precompute": self.shared.as_dict() if self.shared is not None else None,
+            "experiments": [record.as_dict() for record in self.records],
+            "totals": {
+                "experiments": len(self.records),
+                "wall_seconds": round(self.wall_seconds, 6),
+                "experiment_seconds": round(
+                    float(sum(r.wall_seconds for r in self.records)), 6
+                ),
+                "cache": total.as_dict(),
+                "all_cache_hits": self.all_cache_hits,
+            },
+        }
+
+    def write(self, path: PathLike) -> None:
+        """Serialise the report as JSON (the ``BENCH_experiments.json`` artifact)."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+@dataclass(frozen=True)
+class EngineOutcome:
+    """Results plus the run report of one engine invocation.
+
+    ``failures`` maps the ids of experiments whose runner raised to the
+    error message; their records appear in the report with
+    ``status: "error"`` and they are absent from ``results``.
+    ``first_exception`` keeps the first raised exception object so callers
+    can chain it (workers can only ship the pickled exception, so its
+    original traceback ends at the process boundary).
+    """
+
+    results: dict[str, ExperimentResult]
+    report: RunReport
+    failures: dict[str, str] = field(default_factory=dict)
+    first_exception: Optional[BaseException] = field(default=None, repr=False)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ExperimentError(f"jobs must be >= 0, got {jobs}")
+    return int(jobs)
+
+
+def _run_in_worker(
+    experiment_id: str, config: ExperimentConfig, cache_dir: Optional[str]
+) -> tuple[str, ExperimentResult, float, CacheStats]:
+    """Execute one experiment in a worker process.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Each invocation builds a fresh context backed by the shared on-disk
+    cache; after the parent's warm phase every artefact access is a hit.
+    """
+    from repro.experiments.registry import run_experiment
+
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    context = ExperimentContext(config, cache=cache)
+    start = time.perf_counter()
+    result = run_experiment(experiment_id, context=context)
+    elapsed = time.perf_counter() - start
+    stats = cache.stats.snapshot() if cache is not None else CacheStats()
+    return experiment_id, result, elapsed, stats
+
+
+class ExperimentEngine:
+    """Runs a set of figure experiments in parallel with artifact caching.
+
+    Parameters
+    ----------
+    config:
+        Shared experiment configuration (defaults to the scaled-down
+        defaults).
+    jobs:
+        Worker process count; ``1`` runs sequentially in-process (sharing a
+        single context), ``0``/``None`` uses one worker per CPU.
+    cache_dir:
+        Directory of the on-disk artifact cache; ``None`` disables
+        persistence.  An uncached parallel run still shares artefacts
+        through a temporary scratch cache (deleted afterwards), since
+        worker processes have no shared memory.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        jobs: int | None = 1,
+        cache_dir: PathLike | None = None,
+    ):
+        self.config = config if config is not None else ExperimentConfig()
+        self.jobs = resolve_jobs(jobs)
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+
+    def run(self, only: Iterable[str] | None = None) -> EngineOutcome:
+        """Run every registered experiment (or the subset in ``only``)."""
+        from repro.experiments.registry import list_experiments
+
+        known = list_experiments()
+        wanted = list(dict.fromkeys(only)) if only is not None else list(known)
+        unknown = [experiment_id for experiment_id in wanted if experiment_id not in known]
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiments {', '.join(map(repr, unknown))}; known: {', '.join(known)}"
+            )
+
+        started = time.perf_counter()
+        # Worker processes can only share artefacts through the disk cache,
+        # so an uncached parallel run would recompute the whole shared
+        # pipeline once per experiment.  Give it a scratch cache instead,
+        # deleted when the run finishes.
+        ephemeral_dir: Optional[str] = None
+        effective_cache_dir = self.cache_dir
+        if effective_cache_dir is None and self.jobs > 1:
+            ephemeral_dir = tempfile.mkdtemp(prefix="repro-engine-cache-")
+            effective_cache_dir = ephemeral_dir
+        cache = ArtifactCache(effective_cache_dir) if effective_cache_dir is not None else None
+
+        try:
+            # Warm the shared artefacts once in the parent.  A sequential
+            # run only needs this for a full sweep (its single context is
+            # reused across experiments either way); parallel workers cannot
+            # share memory, so they always rely on the warmed disk cache
+            # instead of racing to compute the same matrix/embedding.
+            shared_record: Optional[ExperimentRunRecord] = None
+            warm_context: Optional[ExperimentContext] = None
+            if cache is not None and (only is None or self.jobs > 1):
+                shared_record, warm_context = self._warm(cache, wanted)
+
+            if self.jobs == 1:
+                results, records, first_exc = self._run_sequential(
+                    wanted, cache, warm_context
+                )
+            else:
+                results, records, first_exc = self._run_parallel(
+                    wanted, effective_cache_dir
+                )
+        finally:
+            if ephemeral_dir is not None:
+                shutil.rmtree(ephemeral_dir, ignore_errors=True)
+
+        report = RunReport(
+            config=config_fingerprint(self.config),
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            records=records,
+            shared=shared_record,
+            wall_seconds=time.perf_counter() - started,
+        )
+        failures = {
+            record.experiment_id: record.error
+            for record in records
+            if record.status != "ok"
+        }
+        return EngineOutcome(
+            results=results, report=report, failures=failures, first_exception=first_exc
+        )
+
+    def _shared_entry_keys(self, needs: set[str]) -> list[tuple[str, dict]]:
+        """The ``(kind, params)`` cache addresses the warm phase would touch.
+
+        Derived from a throwaway context so the addresses always match the
+        ones :class:`ExperimentContext` actually uses.
+        """
+        from repro.experiments.tiv_figures import DATASET_PRESETS, dataset_sizes
+
+        cfg = self.config
+        probe = ExperimentContext(cfg)
+        base = probe._matrix_params(cfg.dataset, cfg.n_nodes)
+        kinds_on_base = {
+            "matrix": "dataset",
+            "clusters": "clusters",
+            "severity": "severity",
+            "shortest": "shortest_path",
+        }
+        entries = [(kind, base) for need, kind in kinds_on_base.items() if need in needs]
+        entries += [
+            (kind, probe._embedding_params()) for kind in ("vivaldi", "alert") if kind in needs
+        ]
+        if "datasets" in needs:
+            sizes = dataset_sizes(cfg)
+            for name, preset in DATASET_PRESETS.items():
+                params = probe._matrix_params(preset, sizes[name])
+                entries += [("dataset", params), ("severity", params)]
+        if "euclidean" in needs:
+            entries.append(("dataset", probe._matrix_params("euclidean_like", cfg.n_nodes)))
+        return entries
+
+    def _warm(
+        self, cache: ArtifactCache, wanted: list[str]
+    ) -> tuple[ExperimentRunRecord, Optional[ExperimentContext]]:
+        """Materialise the shared artefacts ``wanted`` needs (parent process)."""
+        from repro.experiments.tiv_figures import DATASET_PRESETS, dataset_sizes
+
+        needs: set[str] = set()
+        for experiment_id in wanted:
+            needs |= _ARTIFACT_NEEDS.get(experiment_id, _ALL_ARTIFACTS)
+
+        # Parallel workers rebuild their own contexts from disk, so when
+        # every needed entry is already cached the parent would decompress
+        # everything into a context nobody reuses — skip that.
+        if self.jobs > 1 and all(
+            cache.contains(kind, params) for kind, params in self._shared_entry_keys(needs)
+        ):
+            return ExperimentRunRecord(experiment_id="__shared__", wall_seconds=0.0), None
+
+        before = cache.stats.snapshot()
+        start = time.perf_counter()
+        context = ExperimentContext(self.config, cache=cache)
+        if "matrix" in needs:
+            _ = context.matrix
+        if "clusters" in needs:
+            _ = context.cluster_assignment
+        if "severity" in needs:
+            _ = context.severity
+        if "shortest" in needs:
+            _ = context.shortest_paths
+        if "vivaldi" in needs:
+            _ = context.vivaldi
+        if "alert" in needs:
+            _ = context.alert
+        if "datasets" in needs:
+            # The multi-dataset figures (2, 4-7, 9) sweep scaled variants
+            # of all four measured data sets.
+            sizes = dataset_sizes(self.config)
+            for name, preset in DATASET_PRESETS.items():
+                context.dataset_matrix(preset, sizes[name])
+                context.dataset_severity(preset, sizes[name])
+        if "euclidean" in needs:
+            context.dataset_matrix("euclidean_like", self.config.n_nodes)
+        record = ExperimentRunRecord(
+            experiment_id="__shared__",
+            wall_seconds=time.perf_counter() - start,
+            cache=cache.stats.since(before),
+        )
+        return record, context
+
+    def _run_sequential(
+        self,
+        wanted: list[str],
+        cache: ArtifactCache | None,
+        context: ExperimentContext | None = None,
+    ) -> tuple[dict[str, ExperimentResult], list[ExperimentRunRecord], BaseException | None]:
+        from repro.experiments.registry import run_experiment
+
+        # Reuse the warm phase's context when there is one: its artefacts
+        # are already in memory, so re-reading them from disk would only
+        # duplicate I/O.
+        if context is None:
+            context = ExperimentContext(self.config, cache=cache)
+        results: dict[str, ExperimentResult] = {}
+        records: list[ExperimentRunRecord] = []
+        first_exc: BaseException | None = None
+        for experiment_id in wanted:
+            before = cache.stats.snapshot() if cache is not None else CacheStats()
+            start = time.perf_counter()
+            status, error = "ok", ""
+            try:
+                results[experiment_id] = run_experiment(experiment_id, context=context)
+            except Exception as exc:
+                status, error = "error", f"{type(exc).__name__}: {exc}"
+                first_exc = exc if first_exc is None else first_exc
+            elapsed = time.perf_counter() - start
+            stats = cache.stats.since(before) if cache is not None else CacheStats()
+            records.append(
+                ExperimentRunRecord(
+                    experiment_id=experiment_id,
+                    wall_seconds=elapsed,
+                    cache=stats,
+                    status=status,
+                    error=error,
+                )
+            )
+        return results, records, first_exc
+
+    def _run_parallel(
+        self, wanted: list[str], cache_dir: Optional[str]
+    ) -> tuple[dict[str, ExperimentResult], list[ExperimentRunRecord], BaseException | None]:
+        results: dict[str, ExperimentResult] = {}
+        records_by_id: dict[str, ExperimentRunRecord] = {}
+        first_exc: BaseException | None = None
+        max_workers = min(self.jobs, max(1, len(wanted)))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_run_in_worker, experiment_id, self.config, cache_dir):
+                    experiment_id
+                for experiment_id in wanted
+            }
+            done, _ = wait(futures)
+            for future in done:
+                error = future.exception()
+                if error is not None:
+                    # A BrokenProcessPool poisons every future with the same
+                    # exception; recording it per-experiment keeps the
+                    # report complete either way.
+                    first_exc = error if first_exc is None else first_exc
+                    records_by_id[futures[future]] = ExperimentRunRecord(
+                        experiment_id=futures[future],
+                        wall_seconds=0.0,
+                        status="error",
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    continue
+                experiment_id, result, elapsed, stats = future.result()
+                results[experiment_id] = result
+                records_by_id[experiment_id] = ExperimentRunRecord(
+                    experiment_id=experiment_id, wall_seconds=elapsed, cache=stats
+                )
+        ordered_results = {eid: results[eid] for eid in wanted if eid in results}
+        ordered_records = [records_by_id[eid] for eid in wanted]
+        return ordered_results, ordered_records, first_exc
+
+
+def run_experiments(
+    config: ExperimentConfig | None = None,
+    *,
+    only: Iterable[str] | None = None,
+    jobs: int | None = 1,
+    cache_dir: PathLike | None = None,
+    report_path: PathLike | None = None,
+) -> EngineOutcome:
+    """Run experiments through the engine and optionally write the run report.
+
+    This is the functional entry point used by
+    :func:`repro.experiments.registry.run_all_experiments` and by
+    ``repro run-all``.  If any experiment fails, the report (including the
+    per-experiment ``status``/``error`` records) is still written before an
+    :class:`ExperimentError` summarising the failures is raised.
+    """
+    engine = ExperimentEngine(config, jobs=jobs, cache_dir=cache_dir)
+    outcome = engine.run(only=only)
+    if report_path is not None:
+        outcome.report.write(report_path)
+    if outcome.failures:
+        details = "; ".join(f"{eid}: {msg}" for eid, msg in outcome.failures.items())
+        raise ExperimentError(
+            f"{len(outcome.failures)} experiment(s) failed: {details}"
+        ) from outcome.first_exception
+    return outcome
+
+
+def results_equal(a: Mapping[str, Any], b: Mapping[str, Any]) -> bool:
+    """Deep equality of two experiment-result payloads (NaN-tolerant).
+
+    Public determinism-checking helper: the engine guarantees parallel,
+    sequential, cold-cache and warm-cache runs agree bit-for-bit, and this
+    is the comparison that pins that guarantee down (the engine tests use
+    it; external harnesses comparing two runs can too).
+    """
+    return _payload_equal(a, b)
+
+
+def _payload_equal(a: Any, b: Any) -> bool:
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        if set(a) != set(b):
+            return False
+        return all(_payload_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return False
+        return all(_payload_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        try:
+            return bool(np.array_equal(np.asarray(a), np.asarray(b), equal_nan=True))
+        except TypeError:  # non-numeric dtypes
+            return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    if isinstance(a, float) and isinstance(b, float):
+        if np.isnan(a) and np.isnan(b):
+            return True
+        return a == b
+    return bool(a == b)

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.delayspace.datasets import load_dataset
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.result import ExperimentResult
@@ -22,11 +21,12 @@ from repro.neighbor.selection import MeridianSelectionExperiment
 def fig13_ring_misplacement(
     config: ExperimentConfig | None = None,
     *,
+    context: ExperimentContext | None = None,
     betas: tuple[float, ...] = (0.1, 0.5, 0.9),
     bin_width: float = 50.0,
 ) -> ExperimentResult:
     """Figure 13: percentage of Meridian ring members misplaced by TIVs."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     series = {}
     for beta in betas:
         centers, fraction, counts = ring_misplacement_by_delay(
@@ -53,7 +53,9 @@ def fig13_ring_misplacement(
     )
 
 
-def fig14_meridian_ideal(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig14_meridian_ideal(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 14: Meridian with idealised settings, Euclidean vs DS²-like data.
 
     Idealised settings: a small Meridian population where every node uses
@@ -61,11 +63,12 @@ def fig14_meridian_ideal(config: ExperimentConfig | None = None) -> ExperimentRe
     is disabled.  On the Euclidean (TIV-free) matrix Meridian almost always
     finds the closest node; on the measured-like matrix it does not.
     """
-    cfg = config if config is not None else ExperimentConfig()
+    ctx = ExperimentContext.resolve(config, context)
+    cfg = ctx.config
     ideal_config = MeridianConfig(use_termination=False)
     results = {}
     for name, preset in (("Euclidean", "euclidean_like"), ("DS2", cfg.dataset)):
-        matrix = load_dataset(preset, n_nodes=cfg.n_nodes, rng=cfg.seed)
+        matrix = ctx.dataset_matrix(preset, cfg.n_nodes)
         experiment = MeridianSelectionExperiment(
             matrix,
             n_meridian=cfg.n_meridian_small,

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ExperimentError
+
+if TYPE_CHECKING:
+    from repro.experiments.context import ExperimentContext
 from repro.experiments.alert_figures import (
     fig19_severity_vs_ratio,
     fig20_alert_accuracy,
@@ -67,15 +70,33 @@ def list_experiments() -> tuple[str, ...]:
 
 
 def run_experiment(
-    experiment_id: str, config: ExperimentConfig | None = None, **kwargs
+    experiment_id: str,
+    config: ExperimentConfig | None = None,
+    *,
+    context: "ExperimentContext | None" = None,
+    **kwargs,
 ) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"fig20"``)."""
+    """Run one experiment by id (e.g. ``"fig20"``).
+
+    Parameters
+    ----------
+    experiment_id:
+        Registered figure identifier.
+    config:
+        Experiment configuration; ignored when ``context`` is given (the
+        context carries its own configuration).
+    context:
+        Optional shared :class:`~repro.experiments.context.ExperimentContext`
+        whose memoised/cached artefacts the runner should reuse.
+    """
     try:
         runner = _REGISTRY[experiment_id]
     except KeyError:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {', '.join(_REGISTRY)}"
         ) from None
+    if context is not None:
+        return runner(context.config, context=context, **kwargs)
     return runner(config, **kwargs)
 
 
@@ -83,10 +104,17 @@ def run_all_experiments(
     config: ExperimentConfig | None = None,
     *,
     only: Iterable[str] | None = None,
+    jobs: int | None = 1,
+    cache_dir: str | None = None,
 ) -> dict[str, ExperimentResult]:
-    """Run every registered experiment (or the subset in ``only``)."""
-    wanted = list(only) if only is not None else list(_REGISTRY)
-    results: dict[str, ExperimentResult] = {}
-    for experiment_id in wanted:
-        results[experiment_id] = run_experiment(experiment_id, config)
-    return results
+    """Run every registered experiment (or the subset in ``only``).
+
+    Delegates to :class:`repro.experiments.engine.ExperimentEngine`:
+    ``jobs`` fans the runners out over worker processes and ``cache_dir``
+    persists the shared artefacts so repeated runs are incremental.  The
+    default (``jobs=1``, no cache) runs sequentially in-process with one
+    shared context.
+    """
+    from repro.experiments.engine import run_experiments
+
+    return run_experiments(config, only=only, jobs=jobs, cache_dir=cache_dir).results

@@ -20,14 +20,16 @@ from repro.neighbor.filters import severity_excluded_edges, severity_filtered_ne
 from repro.neighbor.selection import MeridianSelectionExperiment
 
 
-def fig15_ides(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig15_ides(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 15: IDES neighbour-selection performance vs original Vivaldi.
 
     The landmark count scales with the matrix (0.5 % of nodes, at least 6),
     which reproduces the measurement budget of a real IDES deployment
     (~20 landmarks for a few thousand hosts).
     """
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     experiment = ctx.selection_experiment()
     vivaldi_result = experiment.run(ctx.vivaldi)
     n_landmarks = max(6, round(0.005 * ctx.matrix.n_nodes))
@@ -51,9 +53,11 @@ def fig15_ides(config: ExperimentConfig | None = None) -> ExperimentResult:
     )
 
 
-def fig16_lat(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig16_lat(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 16: Vivaldi+LAT neighbour-selection performance vs Vivaldi."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     experiment = ctx.selection_experiment()
     vivaldi_result = experiment.run(ctx.vivaldi)
     lat = fit_lat(ctx.vivaldi, rng=ctx.config.seed)
@@ -73,10 +77,13 @@ def fig16_lat(config: ExperimentConfig | None = None) -> ExperimentResult:
 
 
 def fig17_vivaldi_filter(
-    config: ExperimentConfig | None = None, *, filter_fraction: float = 0.2
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    filter_fraction: float = 0.2,
 ) -> ExperimentResult:
     """Figure 17: Vivaldi whose probing neighbours avoid the worst-TIV edges."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     experiment = ctx.selection_experiment()
     vivaldi_result = experiment.run(ctx.vivaldi)
 
@@ -108,10 +115,13 @@ def fig17_vivaldi_filter(
 
 
 def fig18_meridian_filter(
-    config: ExperimentConfig | None = None, *, filter_fraction: float = 0.2
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    filter_fraction: float = 0.2,
 ) -> ExperimentResult:
     """Figure 18: Meridian whose rings avoid the worst-TIV edges (it gets worse)."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     cfg = ctx.config
     excluded = severity_excluded_edges(ctx.severity, fraction=filter_fraction)
     meridian_config = MeridianConfig()

@@ -8,11 +8,14 @@
   shortest-path lengths per delay bin.
 * :func:`fig09_proximity` — nearest-pair vs random-pair severity-difference
   CDFs.
+
+Every runner accepts an optional shared
+:class:`~repro.experiments.context.ExperimentContext` so the engine can
+reuse (and persist) the expensive intermediates across figures.
 """
 
 from __future__ import annotations
 
-from repro.delayspace.datasets import load_dataset
 from repro.delayspace.shortest_path import shortest_path_lengths_for_edges
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
@@ -25,7 +28,7 @@ from repro.tiv.analysis import (
     within_cluster_fraction_vs_delay,
 )
 from repro.tiv.proximity import proximity_analysis
-from repro.tiv.severity import compute_tiv_severity, violating_triangle_fraction
+from repro.tiv.severity import violating_triangle_fraction
 
 #: The four measured data sets of the paper and the synthetic presets that
 #: stand in for them.
@@ -37,8 +40,12 @@ DATASET_PRESETS: dict[str, str] = {
 }
 
 
-def _dataset_sizes(config: ExperimentConfig) -> dict[str, int]:
-    """Scale the four data sets' node counts relative to the config."""
+def dataset_sizes(config: ExperimentConfig) -> dict[str, int]:
+    """Scale the four data sets' node counts relative to the config.
+
+    Public because the engine's warm phase precomputes the matrices and
+    severities of exactly these variants.
+    """
     base = config.n_nodes
     return {
         "DS2": base,
@@ -48,20 +55,23 @@ def _dataset_sizes(config: ExperimentConfig) -> dict[str, int]:
     }
 
 
-def fig02_severity_cdf(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig02_severity_cdf(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 2: cumulative distribution of TIV severity for four data sets.
 
     ``data["curves"]`` maps each data-set name to the sorted severity sample
     and a few quantiles; ``data["violating_triangle_fraction"]`` records the
     in-text "~12 % of triangles violate" statistic for the DS²-like matrix.
     """
-    cfg = config if config is not None else ExperimentConfig()
-    sizes = _dataset_sizes(cfg)
+    ctx = ExperimentContext.resolve(config, context)
+    cfg = ctx.config
+    sizes = dataset_sizes(cfg)
     curves: dict[str, dict] = {}
     violating = {}
     for name, preset in DATASET_PRESETS.items():
-        matrix = load_dataset(preset, n_nodes=sizes[name], rng=cfg.seed)
-        severity = compute_tiv_severity(matrix)
+        matrix = ctx.dataset_matrix(preset, sizes[name])
+        severity = ctx.dataset_severity(preset, sizes[name])
         cdf = severity_cdf(severity)
         curves[name] = {
             "quantiles": {q: float(cdf.quantile(q)) for q in (0.5, 0.75, 0.9, 0.99)},
@@ -81,14 +91,16 @@ def fig02_severity_cdf(config: ExperimentConfig | None = None) -> ExperimentResu
     )
 
 
-def fig03_cluster_matrix(config: ExperimentConfig | None = None) -> ExperimentResult:
+def fig03_cluster_matrix(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """Figure 3: TIV severity organised by major cluster.
 
     ``data`` reports the cluster sizes, the reordered severity matrix, and
     the within- vs cross-cluster mean violation counts (the paper reports
     80 vs 206 for DS²).
     """
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     analysis = cluster_severity_analysis(ctx.matrix, ctx.severity, ctx.cluster_assignment)
     return ExperimentResult(
         experiment_id="fig03",
@@ -109,19 +121,22 @@ def fig03_cluster_matrix(config: ExperimentConfig | None = None) -> ExperimentRe
 
 
 def fig04_07_severity_vs_delay(
-    config: ExperimentConfig | None = None, *, bin_width: float = 10.0
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    bin_width: float = 10.0,
 ) -> ExperimentResult:
     """Figures 4-7: TIV severity versus edge delay, one series per data set.
 
     ``data["series"]`` maps data-set name to the binned 10th/median/90th
     percentile severities.
     """
-    cfg = config if config is not None else ExperimentConfig()
-    sizes = _dataset_sizes(cfg)
+    ctx = ExperimentContext.resolve(config, context)
+    sizes = dataset_sizes(ctx.config)
     series = {}
     for name, preset in DATASET_PRESETS.items():
-        matrix = load_dataset(preset, n_nodes=sizes[name], rng=cfg.seed)
-        severity = compute_tiv_severity(matrix)
+        matrix = ctx.dataset_matrix(preset, sizes[name])
+        severity = ctx.dataset_severity(preset, sizes[name])
         stats = severity_vs_delay(matrix, severity, bin_width=bin_width)
         series[name] = stats.nonempty().as_dict()
     return ExperimentResult(
@@ -137,14 +152,17 @@ def fig04_07_severity_vs_delay(
 
 
 def fig08_shortest_path(
-    config: ExperimentConfig | None = None, *, bin_width: float = 50.0
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    bin_width: float = 50.0,
 ) -> ExperimentResult:
     """Figure 8: within-cluster fraction and shortest-path length vs edge delay."""
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     centers, fraction, counts = within_cluster_fraction_vs_delay(
         ctx.matrix, ctx.cluster_assignment, bin_width=bin_width
     )
-    delays, shortest = shortest_path_lengths_for_edges(ctx.matrix)
+    delays, shortest = shortest_path_lengths_for_edges(ctx.matrix, ctx.shortest_paths)
     shortest_stats = bin_by_value(delays, shortest, bin_width=bin_width)
     return ExperimentResult(
         experiment_id="fig08",
@@ -164,19 +182,23 @@ def fig08_shortest_path(
 
 
 def fig09_proximity(
-    config: ExperimentConfig | None = None, *, n_samples: int = 10_000
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    n_samples: int = 10_000,
 ) -> ExperimentResult:
     """Figure 9: proximity does not predict TIV severity.
 
     ``data["datasets"]`` maps data-set name to the median nearest-pair and
     random-pair severity differences and the gap between them.
     """
-    cfg = config if config is not None else ExperimentConfig()
-    sizes = _dataset_sizes(cfg)
+    ctx = ExperimentContext.resolve(config, context)
+    cfg = ctx.config
+    sizes = dataset_sizes(cfg)
     datasets = {}
     for name, preset in DATASET_PRESETS.items():
-        matrix = load_dataset(preset, n_nodes=sizes[name], rng=cfg.seed)
-        severity = compute_tiv_severity(matrix)
+        matrix = ctx.dataset_matrix(preset, sizes[name])
+        severity = ctx.dataset_severity(preset, sizes[name])
         result = proximity_analysis(matrix, severity, n_samples=n_samples, rng=cfg.seed)
         datasets[name] = {
             "median_nearest_difference": result.nearest_cdf().median,

@@ -22,7 +22,10 @@ from repro.tiv.severity import violating_triangle_fraction
 
 
 def fig10_three_node_trace(
-    config: ExperimentConfig | None = None, *, seconds: int = 100
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    seconds: int = 100,
 ) -> ExperimentResult:
     """Figure 10: Vivaldi error trace on the 3-node TIV network.
 
@@ -32,7 +35,7 @@ def fig10_three_node_trace(
     ``data["residual_oscillation"]`` the spread of each series over the
     second half of the run.
     """
-    cfg = config if config is not None else ExperimentConfig()
+    cfg = ExperimentContext.resolve(config, context).config
     matrix = three_node_tiv_matrix()
     vivaldi_config = VivaldiConfig(n_neighbors=2, dimension=2)
     sim = VivaldiSimulation(matrix, vivaldi_config, rng=cfg.seed)
@@ -63,7 +66,11 @@ def fig10_three_node_trace(
 
 
 def fig11_oscillation(
-    config: ExperimentConfig | None = None, *, seconds: int = 200, bin_width: float = 10.0
+    config: ExperimentConfig | None = None,
+    *,
+    context: ExperimentContext | None = None,
+    seconds: int = 200,
+    bin_width: float = 10.0,
 ) -> ExperimentResult:
     """Figure 11: oscillation range of predicted distances per delay bin.
 
@@ -71,7 +78,7 @@ def fig11_oscillation(
     tracks a shorter window, which preserves the qualitative point (ranges
     of tens of ms even for short edges).
     """
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     sim = VivaldiSimulation(ctx.matrix, VivaldiConfig(), rng=ctx.config.seed + 3)
     # Let the embedding reach steady state before measuring oscillation.
     sim.system.run(ctx.config.vivaldi_seconds)
@@ -92,13 +99,15 @@ def fig11_oscillation(
     )
 
 
-def text_vivaldi_error_stats(config: ExperimentConfig | None = None) -> ExperimentResult:
+def text_vivaldi_error_stats(
+    config: ExperimentConfig | None = None, *, context: ExperimentContext | None = None
+) -> ExperimentResult:
     """In-text §3.2.1 statistics: violating-triangle fraction, Vivaldi error.
 
     The paper reports ~12 % violating triangles, a median absolute error of
     20 ms and a 90th-percentile error of 140 ms on the DS² data.
     """
-    ctx = ExperimentContext(config)
+    ctx = ExperimentContext.resolve(config, context)
     errors = absolute_errors(ctx.matrix.values, ctx.vivaldi.predicted_matrix())
     return ExperimentResult(
         experiment_id="text_3_2_1",

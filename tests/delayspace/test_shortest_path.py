@@ -80,3 +80,108 @@ class TestEdgeLengths:
         delays, shortest = shortest_path_lengths_for_edges(small_internet_matrix)
         assert delays.shape == shortest.shape
         assert np.all(shortest <= delays + 1e-9)
+
+
+def _disconnected_matrix() -> DelayMatrix:
+    """Two 2-node components with no measurement between them."""
+    delays = np.full((4, 4), np.nan)
+    np.fill_diagonal(delays, 0.0)
+    delays[0, 1] = delays[1, 0] = 5.0
+    delays[2, 3] = delays[3, 2] = 7.0
+    return DelayMatrix(delays, symmetrize=False)
+
+
+def _zero_edge_matrix() -> DelayMatrix:
+    """Co-located nodes 0 and 1 (a measured zero-delay edge) plus a TIV."""
+    delays = np.array(
+        [
+            [0.0, 0.0, 20.0, 90.0],
+            [0.0, 0.0, 20.0, 90.0],
+            [20.0, 20.0, 0.0, 10.0],
+            [90.0, 90.0, 10.0, 0.0],
+        ]
+    )
+    return DelayMatrix(delays, symmetrize=False)
+
+
+class TestDisconnectedGraphs:
+    def test_cross_component_paths_are_inf(self):
+        shortest = shortest_path_matrix(_disconnected_matrix())
+        for i in (0, 1):
+            for j in (2, 3):
+                assert np.isinf(shortest[i, j])
+                assert np.isinf(shortest[j, i])
+
+    def test_within_component_paths_are_finite(self):
+        shortest = shortest_path_matrix(_disconnected_matrix())
+        assert shortest[0, 1] == pytest.approx(5.0)
+        assert shortest[2, 3] == pytest.approx(7.0)
+
+    def test_detour_gains_only_cover_measured_edges(self):
+        # Every measured edge is itself a path, so gains stay finite even
+        # when the graph as a whole is disconnected.
+        gains = detour_gains(_disconnected_matrix())
+        assert gains.shape == (2,)
+        assert np.all(np.isfinite(gains))
+        assert np.allclose(gains, 1.0)
+
+    def test_edge_lengths_finite_on_disconnected_graph(self):
+        delays, shortest = shortest_path_lengths_for_edges(_disconnected_matrix())
+        assert np.all(np.isfinite(delays))
+        assert np.all(np.isfinite(shortest))
+
+
+class TestZeroDelayEdges:
+    def test_zero_edge_is_a_zero_length_path(self):
+        # Regression guard: a dense csgraph conversion treats 0 as "no
+        # edge" and would report a positive shortest path between the
+        # co-located nodes.
+        shortest = shortest_path_matrix(_zero_edge_matrix())
+        assert shortest[0, 1] == 0.0
+
+    def test_shortest_never_exceeds_direct_with_zero_edges(self):
+        matrix = _zero_edge_matrix()
+        shortest = shortest_path_matrix(matrix)
+        values = matrix.values
+        finite = np.isfinite(values)
+        assert np.all(shortest[finite] <= values[finite] + 1e-9)
+
+    def test_detour_gain_of_zero_edge_is_one(self):
+        matrix = _zero_edge_matrix()
+        gains = detour_gains(matrix)
+        rows, cols = matrix.edge_index_pairs()
+        zero_edge = np.flatnonzero((rows == 0) & (cols == 1))
+        assert zero_edge.size == 1
+        # direct == shortest == 0: no shorter detour exists, so the gain is
+        # the neutral 1.0 rather than nan/inf.
+        assert gains[zero_edge[0]] == pytest.approx(1.0)
+        assert np.all(np.isfinite(gains))
+
+    def test_zero_edge_still_detects_other_tivs(self):
+        gains = detour_gains(_zero_edge_matrix())
+        # Edge (0,3)/(1,3) at 90ms has a 30ms detour via node 2.
+        assert gains.max() == pytest.approx(3.0)
+
+    def test_positive_edge_with_zero_length_detour_has_infinite_gain(self):
+        # Nodes 0, 1, 2, 3 are all pairwise co-located via zero-delay edges
+        # (0-1, 1-2, 2-3), but the direct measurement 0-3 reads 50ms — so
+        # the shortest path 0→2→3 is zero-length while the direct edge is
+        # positive.
+        delays = np.array(
+            [
+                [0.0, 0.0, 0.0, 50.0],
+                [0.0, 0.0, 0.0, np.nan],
+                [0.0, 0.0, 0.0, 0.0],
+                [50.0, np.nan, 0.0, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        shortest = shortest_path_matrix(matrix)
+        assert shortest[0, 3] == 0.0
+        gains = detour_gains(matrix, shortest)
+        rows, cols = matrix.edge_index_pairs()
+        idx = np.flatnonzero((rows == 0) & (cols == 3))
+        assert idx.size == 1
+        # A 50ms edge with a 0ms detour is an unboundedly severe violation,
+        # not a neutral gain of 1.
+        assert np.isinf(gains[idx[0]])

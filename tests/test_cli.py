@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import main
 
 
@@ -95,3 +93,53 @@ class TestExperimentsCommands:
         assert code == 0
         assert target.exists()
         assert "## fig09" in target.read_text()
+
+
+class TestRunAllCommand:
+    def test_run_all_subset_prints_report(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run-all", "--nodes", "48", "--only", "fig03", "fig08"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "bench-experiments/v1"
+        assert [entry["id"] for entry in payload["experiments"]] == ["fig03", "fig08"]
+        assert payload["totals"]["experiments"] == 2
+
+    def test_run_all_cached_second_pass_all_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "artifacts")
+        report_path = str(tmp_path / "BENCH_experiments.json")
+        args = (
+            "run-all", "--nodes", "48", "--jobs", "2",
+            "--only", "fig03", "fig08",
+            "--cache-dir", cache_dir, "--report", report_path,
+        )
+        code, _, _ = run_cli(capsys, *args)
+        assert code == 0
+        code, _, _ = run_cli(capsys, *args)
+        assert code == 0
+        payload = json.loads(open(report_path, encoding="utf-8").read())
+        assert payload["totals"]["cache"]["misses"] == 0
+        assert payload["totals"]["cache"]["hits"] > 0
+        assert payload["totals"]["all_cache_hits"] is True
+
+    def test_run_all_full_includes_scalar_results(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run-all", "--nodes", "48", "--only", "fig03", "--full"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert "report" in payload and "results" in payload
+        assert "fig03" in payload["results"]
+
+    def test_run_all_unknown_experiment_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "run-all", "--only", "fig99")
+        assert code == 1
+        assert "unknown experiment" in err
+
+    def test_run_all_only_without_ids_is_an_argparse_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-all", "--only"])
+        assert excinfo.value.code == 2

@@ -1,8 +1,6 @@
 """Tests for repro.tiv.analysis."""
 
 import numpy as np
-import pytest
-
 from repro.delayspace.clustering import classify_major_clusters
 from repro.tiv.analysis import (
     cluster_severity_analysis,
