@@ -11,6 +11,10 @@ driven without writing Python::
     python -m repro run-all --jobs 4 \
         --cache-dir .cache/experiments \
         --report BENCH_experiments.json           # full parallel cached sweep
+    python -m repro scenarios --matrix full       # list the scenario library
+    python -m repro run-scenarios --matrix small \
+        --jobs 2 --cache-dir .cache/experiments \
+        --report BENCH_scenarios.json             # figure suite x scenario matrix
 """
 
 from __future__ import annotations
@@ -95,9 +99,22 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _scoped_config(args: argparse.Namespace) -> ExperimentConfig:
+    """The experiment configuration for ``--nodes/--seed`` plus ``--scenario``.
+
+    A scenario is applied with its full semantics (``size_factor`` scales
+    the node count), not just stamped onto the configuration.
+    """
     config = ExperimentConfig(n_nodes=args.nodes, seed=args.seed)
-    result = run_experiment(args.experiment, config)
+    if args.scenario:
+        from repro.scenarios.runner import apply_scenario
+
+        config = apply_scenario(config, args.scenario, caller="--scenario")
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment, _scoped_config(args))
     payload = {
         "experiment": result.experiment_id,
         "title": result.title,
@@ -129,7 +146,7 @@ def _scalars_only(data, depth: int = 0):
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.experiments.engine import run_experiments
 
-    config = ExperimentConfig(n_nodes=args.nodes, seed=args.seed)
+    config = _scoped_config(args)
     outcome = run_experiments(
         config,
         only=args.only,
@@ -157,6 +174,42 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         )
     if args.report:
         print(f"wrote run report to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios.library import (
+        available_scenarios,
+        get_scenario,
+        scenario_matrix,
+    )
+
+    if args.matrix:
+        scenarios = scenario_matrix(args.matrix)
+    else:
+        scenarios = tuple(get_scenario(name) for name in available_scenarios())
+    _print_json([scenario.as_dict() for scenario in scenarios])
+    return 0
+
+
+def _cmd_run_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios.runner import run_scenario_matrix
+
+    config = ExperimentConfig(n_nodes=args.nodes, seed=args.seed)
+    # On failure the report (with per-scenario failure records) is still
+    # written before the raised ExperimentError reaches main()'s handler.
+    outcome = run_scenario_matrix(
+        config,
+        matrix=args.matrix,
+        scenarios=args.scenario,
+        only=args.only,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        report_path=args.report,
+    )
+    _print_json(outcome.report.as_dict())
+    if args.report:
+        print(f"wrote scenario report to {args.report}", file=sys.stderr)
     return 0
 
 
@@ -206,38 +259,87 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id, e.g. fig20 (see 'experiments')")
     run.add_argument("--nodes", type=int, default=240)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--scenario",
+        default=None,
+        help="library scenario to run under (see 'scenarios')",
+    )
     run.add_argument("--full", action="store_true", help="emit the full data payload")
     run.set_defaults(func=_cmd_run)
+
+    def add_sweep_arguments(parser: argparse.ArgumentParser, report_name: str) -> None:
+        """The flags run-all and run-scenarios share (kept in one place)."""
+        parser.add_argument("--nodes", type=int, default=240)
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes (1 = sequential in-process, 0 = one per CPU)",
+        )
+        parser.add_argument(
+            "--cache-dir",
+            default=None,
+            help="artifact cache directory; a second run with the same config "
+            "is served from it",
+        )
+        parser.add_argument(
+            "--report",
+            default=None,
+            help=f"write the structured run report ({report_name}) here",
+        )
+        parser.add_argument(
+            "--only", nargs="+", default=None, help="subset of experiment ids to run"
+        )
 
     run_all = sub.add_parser(
         "run-all",
         help="run every figure experiment through the parallel cached engine",
     )
-    run_all.add_argument("--nodes", type=int, default=240)
-    run_all.add_argument("--seed", type=int, default=0)
+    add_sweep_arguments(run_all, "BENCH_experiments.json")
     run_all.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes (1 = sequential in-process, 0 = one per CPU)",
-    )
-    run_all.add_argument(
-        "--cache-dir",
+        "--scenario",
         default=None,
-        help="artifact cache directory; a second run with the same config is served from it",
-    )
-    run_all.add_argument(
-        "--report",
-        default=None,
-        help="write the structured run report (BENCH_experiments.json) here",
-    )
-    run_all.add_argument(
-        "--only", nargs="+", default=None, help="subset of experiment ids to run"
+        help="library scenario to run the whole sweep under (see 'scenarios')",
     )
     run_all.add_argument(
         "--full", action="store_true", help="also emit scalar result payloads"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    # Only the light library module: importing the full scenarios package
+    # would drag the engine/cache stack into every CLI invocation.
+    from repro.scenarios.library import available_matrices
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the scenario library (optionally one matrix)"
+    )
+    scenarios.add_argument(
+        "--matrix",
+        choices=available_matrices(),
+        default=None,
+        help="restrict the listing to one scenario matrix",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
+
+    run_scenarios = sub.add_parser(
+        "run-scenarios",
+        help="run the figure suite under every scenario of a matrix",
+    )
+    run_scenarios.add_argument(
+        "--matrix",
+        choices=available_matrices(),
+        default="small",
+        help="scenario matrix to sweep (default: small)",
+    )
+    run_scenarios.add_argument(
+        "--scenario",
+        nargs="+",
+        default=None,
+        help="explicit scenario names to run instead of a matrix",
+    )
+    add_sweep_arguments(run_scenarios, "BENCH_scenarios.json")
+    run_scenarios.set_defaults(func=_cmd_run_scenarios)
 
     report = sub.add_parser(
         "report", help="run experiments and render a Markdown results report"

@@ -81,8 +81,17 @@ class SyntheticSpaceConfig:
         the remainder become "noise" nodes scattered uniformly over a wide
         area, matching the noise cluster of the paper's clustering analysis.
     access_delay_mean:
-        Mean of the per-node exponential access ("last mile") delay added to
-        both endpoints of every path (ms).
+        Mean of the per-node access ("last mile") delay added to both
+        endpoints of every path (ms).
+    access_delay_distribution:
+        Distribution of the per-node access delay: ``"exponential"`` (the
+        default, light tail) or ``"pareto"`` (heavy tail, modelling a
+        minority of badly connected access links).  Both are parameterised
+        to have mean ``access_delay_mean``.
+    access_delay_shape:
+        Shape parameter of the Pareto access-delay tail (only used when
+        ``access_delay_distribution="pareto"``); must be > 1 so the mean is
+        finite.  Smaller values give heavier tails.
     min_delay:
         Lower bound applied to every generated delay (ms).
     tiv_edge_fraction:
@@ -111,6 +120,8 @@ class SyntheticSpaceConfig:
     n_nodes: int = 400
     clusters: tuple[ClusterSpec, ...] = DEFAULT_CLUSTERS
     access_delay_mean: float = 6.0
+    access_delay_distribution: str = "exponential"
+    access_delay_shape: float = 2.5
     min_delay: float = 0.5
     tiv_edge_fraction: float = 0.18
     intra_cluster_tiv_weight: float = 0.55
@@ -136,6 +147,13 @@ class SyntheticSpaceConfig:
             raise ConfigError("inflation_shape must be > 1 for a finite-mean tail")
         if self.max_inflation < 1.0:
             raise ConfigError("max_inflation must be >= 1")
+        if self.access_delay_distribution not in ("exponential", "pareto"):
+            raise ConfigError(
+                "access_delay_distribution must be 'exponential' or 'pareto', "
+                f"got {self.access_delay_distribution!r}"
+            )
+        if self.access_delay_shape <= 1.0:
+            raise ConfigError("access_delay_shape must be > 1 for a finite-mean tail")
 
 
 def euclidean_delay_space(
@@ -220,13 +238,27 @@ def _node_positions(
     return positions
 
 
+def _access_delays(config: SyntheticSpaceConfig, gen: np.random.Generator) -> np.ndarray:
+    """Per-node access delays with mean ``access_delay_mean``.
+
+    The Pareto variant keeps the same mean as the exponential one (scale
+    ``mean * (shape - 1) / shape``) so switching the distribution changes
+    the tail, not the typical delay level.
+    """
+    if config.access_delay_distribution == "pareto":
+        shape = config.access_delay_shape
+        scale = config.access_delay_mean * (shape - 1.0) / shape
+        return scale * (1.0 + gen.pareto(shape, size=config.n_nodes))
+    return gen.exponential(config.access_delay_mean, size=config.n_nodes)
+
+
 def _base_delays(
     config: SyntheticSpaceConfig, positions: np.ndarray, gen: np.random.Generator
 ) -> np.ndarray:
     """Geometric propagation delays plus per-node access delays."""
     diffs = positions[:, None, :] - positions[None, :, :]
     geo = np.sqrt(np.sum(diffs * diffs, axis=-1))
-    access = gen.exponential(config.access_delay_mean, size=config.n_nodes)
+    access = _access_delays(config, gen)
     delays = geo + access[:, None] + access[None, :]
     np.fill_diagonal(delays, 0.0)
     return delays
@@ -237,7 +269,7 @@ def _inflate_edges(
     delays: np.ndarray,
     assignment: np.ndarray,
     gen: np.random.Generator,
-) -> np.ndarray:
+) -> tuple[np.ndarray, np.ndarray]:
     """Apply the routing-inefficiency model that injects TIVs.
 
     A fraction of edges is selected with probability proportional to a
@@ -246,12 +278,17 @@ def _inflate_edges(
     ``max_inflation``.  Because only the direct edge is inflated and not the
     detours through third nodes, every sufficiently inflated edge becomes a
     triangle inequality violation.
+
+    Returns the delays plus the symmetric boolean mask of inflated edges
+    (the generator's ground truth, used by the scenario property tests to
+    pin the requested TIV fraction).
     """
     n = config.n_nodes
+    inflated = np.zeros((n, n), dtype=bool)
     iu = np.triu_indices(n, k=1)
     n_edges = iu[0].size
     if config.tiv_edge_fraction <= 0 or n_edges == 0:
-        return delays
+        return delays, inflated
 
     same_cluster = assignment[iu[0]] == assignment[iu[1]]
     weights = np.where(same_cluster, config.intra_cluster_tiv_weight, 1.0)
@@ -267,7 +304,7 @@ def _inflate_edges(
     n_inflate = int(round(config.tiv_edge_fraction * n_edges))
     n_inflate = min(max(n_inflate, 0), n_edges)
     if n_inflate == 0:
-        return delays
+        return delays, inflated
     chosen = gen.choice(n_edges, size=n_inflate, replace=False, p=weights)
 
     pareto = gen.pareto(config.inflation_shape, size=n_inflate)
@@ -277,7 +314,9 @@ def _inflate_edges(
     rows, cols = iu[0][chosen], iu[1][chosen]
     delays[rows, cols] *= factors
     delays[cols, rows] = delays[rows, cols]
-    return delays
+    inflated[rows, cols] = True
+    inflated[cols, rows] = True
+    return delays, inflated
 
 
 def _apply_jitter_and_missing(
@@ -307,7 +346,8 @@ def clustered_delay_space(
     *,
     rng: RngLike = None,
     return_clusters: bool = False,
-) -> DelayMatrix | tuple[DelayMatrix, np.ndarray]:
+    return_tiv_edges: bool = False,
+) -> DelayMatrix | tuple:
     """Generate a clustered Internet-like delay matrix with injected TIVs.
 
     Parameters
@@ -321,20 +361,31 @@ def clustered_delay_space(
         If True, also return the ground-truth cluster assignment array
         (values ``0..len(clusters)-1`` for major clusters, ``len(clusters)``
         for noise nodes).
+    return_tiv_edges:
+        If True, also return the symmetric boolean mask of the edges the
+        routing-inefficiency model inflated — the generator's ground truth
+        for "which edges were made TIV-causing".  Appended after the
+        cluster assignment when both flags are set.
 
     Returns
     -------
-    DelayMatrix or (DelayMatrix, ndarray)
+    DelayMatrix, optionally followed by the cluster assignment and/or the
+    inflated-edge mask (in that order).
     """
     cfg = config if config is not None else SyntheticSpaceConfig()
     gen = ensure_rng(rng)
     assignment = _assign_clusters(cfg, gen)
     positions = _node_positions(cfg, assignment, gen)
     delays = _base_delays(cfg, positions, gen)
-    delays = _inflate_edges(cfg, delays, assignment, gen)
+    delays, inflated = _inflate_edges(cfg, delays, assignment, gen)
     delays = _apply_jitter_and_missing(cfg, delays, gen)
     np.fill_diagonal(delays, 0.0)
     matrix = DelayMatrix(delays, symmetrize=False)
+    extras: list = []
     if return_clusters:
-        return matrix, assignment
+        extras.append(assignment)
+    if return_tiv_edges:
+        extras.append(inflated)
+    if extras:
+        return (matrix, *extras)
     return matrix

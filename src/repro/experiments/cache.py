@@ -85,6 +85,22 @@ class CacheStats:
             stores=self.stores - earlier.stores,
         )
 
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other``'s counters into this instance.
+
+        The single place report totals are summed (engine run reports and
+        scenario-matrix reports both delegate here), so a future counter
+        cannot be totalled in one report and silently dropped in another.
+        """
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+
+    @property
+    def all_hits(self) -> bool:
+        """True when the cache was touched and never missed (a warm run)."""
+        return self.misses == 0 and self.hits > 0
+
     def as_dict(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
 

@@ -45,6 +45,18 @@ class ExperimentConfig:
     max_clients:
         Cap on clients evaluated per Meridian run (keeps scaled-down runs
         fast); ``None`` evaluates every client.
+    scenario:
+        Optional name of a library scenario (see
+        :mod:`repro.scenarios.library`) every dataset load is generated
+        under.  ``None`` (the default) is the plain, scenario-free harness;
+        the name is resolved lazily by the experiment context so the
+        configuration stays a plain value object.  Note this field covers
+        the *generative* scenario dimensions only: the scenario's
+        ``size_factor`` acts on ``n_nodes`` while a configuration is
+        derived (``repro.scenarios.runner.scenario_config``, used by the
+        matrix runner, the registry's ``scenario=`` shorthand and the CLI
+        ``--scenario`` flags), so set this field directly only with an
+        already-scaled node count.
     """
 
     dataset: str = "ds2_like"
@@ -56,6 +68,7 @@ class ExperimentConfig:
     meridian_fraction: float = 0.5
     meridian_small_count: int = 40
     max_clients: int | None = 150
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 8:

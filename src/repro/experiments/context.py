@@ -12,6 +12,12 @@ the context additionally persists every artefact to disk, content-addressed
 by the parameters that determine it.  A second run of the same
 configuration is then served entirely from the cache, and parallel workers
 (see :mod:`repro.experiments.engine`) share the artefacts across processes.
+
+The configuration's ``scenario`` field is a first-class dimension here:
+when set, every dataset load routes through the scenario generator layer
+(:mod:`repro.scenarios.generators`) and the scenario's knobs join the
+cache address, so different scenarios never collide while the no-op
+baseline scenario shares artefacts with plain runs.
 """
 
 from __future__ import annotations
@@ -23,7 +29,6 @@ import numpy as np
 from repro.core.alert import TIVAlert
 from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
 from repro.delayspace.clustering import ClusterAssignment, classify_major_clusters
-from repro.delayspace.datasets import load_dataset
 from repro.delayspace.matrix import DelayMatrix
 from repro.delayspace.shortest_path import shortest_path_matrix
 from repro.experiments.cache import ArtifactCache
@@ -66,6 +71,14 @@ class ExperimentContext:
     ):
         self.config = config if config is not None else ExperimentConfig()
         self.cache = cache
+        # Resolve the scenario dimension eagerly so an unknown name fails at
+        # construction, not mid-sweep inside a worker process.
+        if self.config.scenario is not None:
+            from repro.scenarios.library import get_scenario
+
+            self.scenario = get_scenario(self.config.scenario)
+        else:
+            self.scenario = None
         self._matrices: dict[tuple[str, int], DelayMatrix] = {}
         self._ground_truth: dict[tuple[str, int], np.ndarray] = {}
         self._severities: dict[tuple[str, int], TIVSeverityResult] = {}
@@ -77,7 +90,14 @@ class ExperimentContext:
     # -- cache plumbing --------------------------------------------------------
 
     def _matrix_params(self, preset: str, n_nodes: int) -> dict:
-        return {"preset": preset, "n_nodes": int(n_nodes), "seed": self.config.seed}
+        params = {"preset": preset, "n_nodes": int(n_nodes), "seed": self.config.seed}
+        # A (non-no-op) scenario changes the generated matrices, so it is
+        # part of their content address; a no-op scenario — and the plain
+        # scenario-free harness — keep the original address and therefore
+        # share cache entries.
+        if self.scenario is not None and not self.scenario.is_noop:
+            params["scenario"] = self.scenario.cache_params()
+        return params
 
     def _embedding_params(self) -> dict:
         """Parameters that fully determine the Vivaldi embedding (and alert).
@@ -87,12 +107,15 @@ class ExperimentContext:
         enter the embedding, so changing them must not invalidate the most
         expensive cached artefacts.
         """
-        return {
+        params = {
             "preset": self.config.dataset,
             "n_nodes": self.config.n_nodes,
             "seed": self.config.seed,
             "vivaldi_seconds": self.config.vivaldi_seconds,
         }
+        if self.scenario is not None and not self.scenario.is_noop:
+            params["scenario"] = self.scenario.cache_params()
+        return params
 
     def _restore_cached(self, kind: str, params: dict, restore):
         """Load a cache entry and rebuild the artefact, self-healing on failure.
@@ -138,8 +161,10 @@ class ExperimentContext:
         if restored is not None:
             self._matrices[key], self._ground_truth[key] = restored
             return
-        matrix, clusters = load_dataset(
-            preset, n_nodes=n_nodes, rng=self.config.seed, return_clusters=True
+        from repro.scenarios.generators import load_scenario_dataset
+
+        matrix, clusters = load_scenario_dataset(
+            self.scenario, preset, n_nodes, self.config.seed
         )
         self._matrices[key] = matrix
         self._ground_truth[key] = np.asarray(clusters)

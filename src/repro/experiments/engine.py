@@ -26,7 +26,6 @@ identical :class:`ExperimentResult` payloads.
 
 from __future__ import annotations
 
-import json
 import os
 import shutil
 import tempfile
@@ -43,6 +42,7 @@ from repro.experiments.cache import ArtifactCache, CacheStats, config_fingerprin
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.result import ExperimentResult
+from repro.utils.io import write_json_report
 
 PathLike = Union[str, Path]
 
@@ -120,16 +120,13 @@ class RunReport:
         total = CacheStats()
         phases = list(self.records) + ([self.shared] if self.shared is not None else [])
         for record in phases:
-            total.hits += record.cache.hits
-            total.misses += record.cache.misses
-            total.stores += record.cache.stores
+            total.merge(record.cache)
         return total
 
     @property
     def all_cache_hits(self) -> bool:
         """True when the run touched the cache and never missed (a warm run)."""
-        total = self.total_cache()
-        return total.misses == 0 and total.hits > 0
+        return self.total_cache().all_hits
 
     def as_dict(self) -> dict[str, Any]:
         total = self.total_cache()
@@ -153,12 +150,7 @@ class RunReport:
 
     def write(self, path: PathLike) -> None:
         """Serialise the report as JSON (the ``BENCH_experiments.json`` artifact)."""
-        path = Path(path)
-        if path.parent != Path(""):
-            path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        write_json_report(path, self.as_dict())
 
 
 @dataclass(frozen=True)
@@ -186,6 +178,25 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 0:
         raise ExperimentError(f"jobs must be >= 0, got {jobs}")
     return int(jobs)
+
+
+def resolve_experiment_ids(only: Iterable[str] | None) -> list[str]:
+    """Validate an ``--only`` subset against the registry (deduplicated).
+
+    ``None`` selects every registered experiment.  Shared by the engine and
+    the scenario-matrix runner so both reject unknown ids before any work
+    starts.
+    """
+    from repro.experiments.registry import list_experiments
+
+    known = list_experiments()
+    wanted = list(dict.fromkeys(only)) if only is not None else list(known)
+    unknown = [experiment_id for experiment_id in wanted if experiment_id not in known]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiments {', '.join(map(repr, unknown))}; known: {', '.join(known)}"
+        )
+    return wanted
 
 
 def _run_in_worker(
@@ -239,15 +250,7 @@ class ExperimentEngine:
 
     def run(self, only: Iterable[str] | None = None) -> EngineOutcome:
         """Run every registered experiment (or the subset in ``only``)."""
-        from repro.experiments.registry import list_experiments
-
-        known = list_experiments()
-        wanted = list(dict.fromkeys(only)) if only is not None else list(known)
-        unknown = [experiment_id for experiment_id in wanted if experiment_id not in known]
-        if unknown:
-            raise ExperimentError(
-                f"unknown experiments {', '.join(map(repr, unknown))}; known: {', '.join(known)}"
-            )
+        wanted = resolve_experiment_ids(only)
 
         started = time.perf_counter()
         # Worker processes can only share artefacts through the disk cache,
@@ -270,7 +273,7 @@ class ExperimentEngine:
             shared_record: Optional[ExperimentRunRecord] = None
             warm_context: Optional[ExperimentContext] = None
             if cache is not None and (only is None or self.jobs > 1):
-                shared_record, warm_context = self._warm(cache, wanted)
+                shared_record, warm_context = self.warm(cache, wanted)
 
             if self.jobs == 1:
                 results, records, first_exc = self._run_sequential(
@@ -331,10 +334,15 @@ class ExperimentEngine:
             entries.append(("dataset", probe._matrix_params("euclidean_like", cfg.n_nodes)))
         return entries
 
-    def _warm(
+    def warm(
         self, cache: ArtifactCache, wanted: list[str]
     ) -> tuple[ExperimentRunRecord, Optional[ExperimentContext]]:
-        """Materialise the shared artefacts ``wanted`` needs (parent process)."""
+        """Materialise the shared artefacts ``wanted`` needs.
+
+        Called by :meth:`run` in the parent process, and directly by the
+        scenario-matrix runner to warm several scenarios' artefacts
+        concurrently (one engine per scenario, inside workers).
+        """
         from repro.experiments.tiv_figures import DATASET_PRESETS, dataset_sizes
 
         needs: set[str] = set()

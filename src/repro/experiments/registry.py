@@ -74,6 +74,7 @@ def run_experiment(
     config: ExperimentConfig | None = None,
     *,
     context: "ExperimentContext | None" = None,
+    scenario: str | None = None,
     **kwargs,
 ) -> ExperimentResult:
     """Run one experiment by id (e.g. ``"fig20"``).
@@ -85,6 +86,12 @@ def run_experiment(
     config:
         Experiment configuration; ignored when ``context`` is given (the
         context carries its own configuration).
+    scenario:
+        Optional library scenario name the experiment should run under.
+        The full scenario semantics apply — including ``size_factor``
+        scaling the node count — by deriving the configuration through
+        :func:`repro.scenarios.runner.scenario_config`.  Must not conflict
+        with a scenario already carried by ``config`` or ``context``.
     context:
         Optional shared :class:`~repro.experiments.context.ExperimentContext`
         whose memoised/cached artefacts the runner should reuse.
@@ -95,6 +102,18 @@ def run_experiment(
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known: {', '.join(_REGISTRY)}"
         ) from None
+    if scenario is not None:
+        if context is not None:
+            if context.config.scenario != scenario:
+                raise ExperimentError(
+                    "a shared context cannot be re-scoped to another scenario: "
+                    f"context carries {context.config.scenario!r}, run_experiment "
+                    f"was asked for {scenario!r}"
+                )
+        else:
+            from repro.scenarios.runner import apply_scenario
+
+            config = apply_scenario(config, scenario, caller="run_experiment")
     if context is not None:
         return runner(context.config, context=context, **kwargs)
     return runner(config, **kwargs)
@@ -106,6 +125,7 @@ def run_all_experiments(
     only: Iterable[str] | None = None,
     jobs: int | None = 1,
     cache_dir: str | None = None,
+    scenario: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment (or the subset in ``only``).
 
@@ -113,8 +133,15 @@ def run_all_experiments(
     ``jobs`` fans the runners out over worker processes and ``cache_dir``
     persists the shared artefacts so repeated runs are incremental.  The
     default (``jobs=1``, no cache) runs sequentially in-process with one
-    shared context.
+    shared context.  ``scenario`` runs the whole sweep under a library
+    scenario with full scenario semantics (``size_factor`` scales the node
+    count); for a sweep over many scenarios use
+    :func:`repro.scenarios.runner.run_scenario_matrix` instead.
     """
     from repro.experiments.engine import run_experiments
 
+    if scenario is not None:
+        from repro.scenarios.runner import apply_scenario
+
+        config = apply_scenario(config, scenario, caller="run_all_experiments")
     return run_experiments(config, only=only, jobs=jobs, cache_dir=cache_dir).results

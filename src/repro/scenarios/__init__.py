@@ -1,0 +1,89 @@
+"""Scenario-matrix subsystem.
+
+Declarative evaluation scenarios (topology family × size × TIV-injection
+level × perturbations), a generator layer that materialises any dataset
+preset under any scenario, a runner that fans the figure suite out across
+a scenario matrix, and golden-summary helpers that turn the figure suite
+into a regression test surface.
+"""
+
+from repro.scenarios.golden import (
+    DEFAULT_ATOL,
+    DEFAULT_RTOL,
+    GOLDEN_SCHEMA,
+    GoldenDrift,
+    compare_summaries,
+    golden_payload,
+    read_golden,
+    summarize_result,
+    write_golden,
+)
+from repro.scenarios.generators import (
+    TOPOLOGIES,
+    apply_perturbations,
+    load_scenario_dataset,
+    scenario_space_config,
+)
+from repro.scenarios.library import (
+    SCENARIO_MATRICES,
+    available_matrices,
+    available_scenarios,
+    get_scenario,
+    scenario_matrix,
+)
+from repro.scenarios.spec import ACCESS_MODELS, TIV_LEVELS, TOPOLOGY_FAMILIES, Scenario
+
+#: Runner exports resolved lazily (PEP 562): the runner pulls in the whole
+#: engine/cache stack, which listing scenarios — and the CLI's parser
+#: construction — must not pay for.
+_RUNNER_EXPORTS = frozenset(
+    {
+        "SCENARIO_REPORT_SCHEMA",
+        "ScenarioMatrixOutcome",
+        "ScenarioMatrixReport",
+        "ScenarioRunRecord",
+        "apply_scenario",
+        "run_scenario_matrix",
+        "scenario_config",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _RUNNER_EXPORTS:
+        from repro.scenarios import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ACCESS_MODELS",
+    "DEFAULT_ATOL",
+    "DEFAULT_RTOL",
+    "GOLDEN_SCHEMA",
+    "GoldenDrift",
+    "SCENARIO_MATRICES",
+    "SCENARIO_REPORT_SCHEMA",
+    "Scenario",
+    "ScenarioMatrixOutcome",
+    "ScenarioMatrixReport",
+    "ScenarioRunRecord",
+    "TIV_LEVELS",
+    "TOPOLOGIES",
+    "TOPOLOGY_FAMILIES",
+    "apply_perturbations",
+    "apply_scenario",
+    "available_matrices",
+    "available_scenarios",
+    "compare_summaries",
+    "get_scenario",
+    "golden_payload",
+    "load_scenario_dataset",
+    "read_golden",
+    "run_scenario_matrix",
+    "scenario_config",
+    "scenario_matrix",
+    "scenario_space_config",
+    "summarize_result",
+    "write_golden",
+]

@@ -1,0 +1,127 @@
+"""Golden-figure regression snapshots.
+
+Every figure runner is deterministic given its configuration, which makes
+the whole figure suite usable as a regression test surface: record a
+compact numeric summary of each (figure, scenario) result once, commit it,
+and fail when a later run drifts beyond tolerance.  This module provides
+the summary extraction, the tolerance-aware comparison and the snapshot
+file I/O; the pytest harness in ``tests/golden/`` wires them to the
+``--update-goldens`` flag.
+
+Snapshots deliberately store *summaries* (scalar leaves plus NaN-aware
+``n/mean/min/max`` statistics of every numeric array, see
+:func:`repro.stats.summary.flatten_numeric`), not full payloads: they stay
+small enough to review in a diff while still catching any numeric change
+that moves a distribution.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping, Union
+
+from repro.stats.summary import flatten_numeric
+from repro.utils.io import write_json_report
+
+if TYPE_CHECKING:  # annotation-only: keeps this module (and the package
+    # __init__) clear of the experiments/engine import chain.
+    from repro.experiments.result import ExperimentResult
+
+PathLike = Union[str, Path]
+
+#: Schema tag of the snapshot files.
+GOLDEN_SCHEMA = "golden-summary/v1"
+
+#: Default relative tolerance of the drift comparison.  The harness runs
+#: the same code with the same seeds, so drift only comes from numeric
+#: environment differences (BLAS, numpy version); 5e-4 absorbs those while
+#: still flagging any change a human would call a different number.
+DEFAULT_RTOL = 5e-4
+
+#: Default absolute tolerance, for summary values that hover around zero.
+DEFAULT_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class GoldenDrift:
+    """One summary statistic that moved beyond tolerance."""
+
+    path: str
+    expected: float | None
+    actual: float | None
+
+    def describe(self) -> str:
+        if self.expected is None:
+            return f"{self.path}: unexpected new statistic (actual={self.actual!r})"
+        if self.actual is None:
+            return f"{self.path}: statistic disappeared (expected={self.expected!r})"
+        return f"{self.path}: expected {self.expected!r}, got {self.actual!r}"
+
+
+def summarize_result(result: "ExperimentResult") -> dict[str, float]:
+    """Compact numeric summary of one figure result (the golden payload)."""
+    return flatten_numeric(result.data)
+
+
+def compare_summaries(
+    expected: Mapping[str, float],
+    actual: Mapping[str, float],
+    *,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+) -> list[GoldenDrift]:
+    """Return every statistic that differs beyond tolerance (empty = match).
+
+    Keys present on only one side always count as drift: a statistic that
+    appears or disappears means the result payload changed shape, which is
+    exactly what a golden harness must surface.
+    """
+    drifts: list[GoldenDrift] = []
+    for path in sorted(set(expected) | set(actual)):
+        if path not in expected:
+            drifts.append(GoldenDrift(path=path, expected=None, actual=float(actual[path])))
+            continue
+        if path not in actual:
+            drifts.append(GoldenDrift(path=path, expected=float(expected[path]), actual=None))
+            continue
+        want, got = float(expected[path]), float(actual[path])
+        if math.isnan(want) and math.isnan(got):
+            continue
+        if not math.isclose(got, want, rel_tol=rtol, abs_tol=atol):
+            drifts.append(GoldenDrift(path=path, expected=want, actual=got))
+    return drifts
+
+
+def golden_payload(
+    experiment_id: str,
+    scenario_name: str,
+    summary: Mapping[str, float],
+    *,
+    config: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The JSON document written to a snapshot file."""
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "experiment": experiment_id,
+        "scenario": scenario_name,
+        "config": dict(config) if config is not None else None,
+        "summary": {key: summary[key] for key in sorted(summary)},
+    }
+
+
+def write_golden(path: PathLike, payload: Mapping[str, Any]) -> None:
+    """Write a snapshot file (sorted keys, trailing newline, diff-friendly)."""
+    write_json_report(path, payload)
+
+
+def read_golden(path: PathLike) -> dict[str, Any]:
+    """Read a snapshot file, validating its schema tag."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("schema") != GOLDEN_SCHEMA:
+        raise ValueError(f"{path} is not a {GOLDEN_SCHEMA} snapshot")
+    return payload

@@ -74,3 +74,62 @@ def percentile_summary(sample: np.ndarray, percentiles: tuple[float, ...] = (10,
         raise ValueError("cannot summarise an empty sample")
     values = np.percentile(data, percentiles)
     return {f"p{int(q)}": float(v) for q, v in zip(percentiles, values)}
+
+
+def _is_numeric_array(value) -> bool:
+    """True for lists/tuples whose elements are all plain numbers.
+
+    (ndarrays never reach this helper: :func:`flatten_numeric` handles them
+    directly by dtype.)
+    """
+    if isinstance(value, (list, tuple)):
+        return len(value) > 0 and all(
+            isinstance(v, (int, float, np.integer, np.floating)) and not isinstance(v, bool)
+            for v in value
+        )
+    return False
+
+
+def flatten_numeric(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten a nested result payload into scalar statistics keyed by path.
+
+    Scalars keep their value under their dotted path; numeric arrays are
+    collapsed into compact ``{path}.n/.mean/.min/.max`` statistics
+    (NaN-aware, so a payload with missing entries still summarises); other
+    containers recurse; non-numeric leaves (strings, ``None``) are dropped.
+    The output is exactly the kind of compact, order-independent signature
+    the golden-figure regression harness snapshots per (figure, scenario).
+    """
+    out: dict[str, float] = {}
+
+    def _emit_array(path: str, values: np.ndarray) -> None:
+        data = np.asarray(values, dtype=float).ravel()
+        out[f"{path}.n"] = float(data.size)
+        finite = data[np.isfinite(data)]
+        out[f"{path}.finite_n"] = float(finite.size)
+        if finite.size:
+            out[f"{path}.mean"] = float(finite.mean())
+            out[f"{path}.min"] = float(finite.min())
+            out[f"{path}.max"] = float(finite.max())
+
+    def _walk(path: str, value) -> None:
+        if isinstance(value, (bool, np.bool_)):
+            out[path] = float(value)
+        elif isinstance(value, (int, float, np.integer, np.floating)):
+            out[path] = float(value)
+        elif isinstance(value, np.ndarray):
+            if value.dtype.kind in "fiub":
+                _emit_array(path, value)
+        elif isinstance(value, dict):
+            for key in sorted(value, key=str):
+                _walk(f"{path}.{key}" if path else str(key), value[key])
+        elif isinstance(value, (list, tuple)):
+            if _is_numeric_array(value):
+                _emit_array(path, np.asarray(value, dtype=float))
+            else:
+                for index, item in enumerate(value):
+                    _walk(f"{path}[{index}]", item)
+        # strings, None and other leaves carry no numeric signal: dropped.
+
+    _walk(prefix, payload)
+    return out

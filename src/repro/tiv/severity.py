@@ -105,32 +105,61 @@ def _prepared_delays(matrix: DelayMatrix) -> np.ndarray:
     return delays
 
 
-def compute_tiv_severity(matrix: DelayMatrix) -> TIVSeverityResult:
+def compute_tiv_severity(
+    matrix: DelayMatrix, *, chunk_size: int | None = None
+) -> TIVSeverityResult:
     """Compute the TIV severity of every edge of ``matrix``.
 
-    The computation is O(N³) but fully vectorised per source row, which is
-    fast enough for the matrix sizes used by the experiment harness (a
-    400-node matrix takes well under a second).
+    The computation is O(N³) time, vectorised per source row.  Each source
+    row materialises O(N²) temporaries (the ``two_hop`` float matrix plus
+    the boolean witness mask and the ratio matrix — roughly ``20 * N²``
+    bytes at peak), so whole-row vectorisation is fast for harness-scale
+    matrices (a 400-node matrix takes well under a second) but the
+    temporaries reach gigabytes at paper scale (4000 nodes ≈ 320 MB per
+    row in flight).
+
+    Parameters
+    ----------
+    matrix:
+        The delay matrix.
+    chunk_size:
+        Optional bound on the witness (B) dimension of the per-row
+        temporaries: witnesses are processed ``chunk_size`` at a time,
+        capping peak extra memory at O(``chunk_size`` × N) instead of
+        O(N²).  Results are equivalent up to floating-point summation
+        order (the witness sum accumulates per chunk).  ``None`` (the
+        default) keeps the single-pass whole-row computation.
     """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     delays = _prepared_delays(matrix)
     n = matrix.n_nodes
     severity = np.zeros((n, n), dtype=float)
     counts = np.zeros((n, n), dtype=np.int64)
+    step = n if chunk_size is None else min(chunk_size, n)
 
     for a in range(n):
         d_a = delays[a]                       # d(A, B) for all B
-        # two_hop[b, c] = d(A, b) + d(b, c)
-        two_hop = d_a[:, None] + delays
         direct = d_a[None, :]                 # d(A, C) broadcast over rows (B)
-        with np.errstate(invalid="ignore"):
-            violating = two_hop < direct
-        # A node cannot witness a violation of an edge it belongs to.
-        violating[a, :] = False
-        violating[np.arange(n), np.arange(n)] = False  # B == C
-        with np.errstate(divide="ignore", invalid="ignore"):
-            ratios = np.where(violating, direct / two_hop, 0.0)
-        severity[a] = ratios.sum(axis=0) / n
-        counts[a] = violating.sum(axis=0)
+        row_ratio = np.zeros(n, dtype=float)
+        row_count = np.zeros(n, dtype=np.int64)
+        for b0 in range(0, n, step):
+            b1 = min(b0 + step, n)
+            witnesses = np.arange(b0, b1)
+            # two_hop[b - b0, c] = d(A, b) + d(b, c)
+            two_hop = d_a[b0:b1, None] + delays[b0:b1]
+            with np.errstate(invalid="ignore"):
+                violating = two_hop < direct
+            # A node cannot witness a violation of an edge it belongs to.
+            if b0 <= a < b1:
+                violating[a - b0, :] = False
+            violating[np.arange(b1 - b0), witnesses] = False  # B == C
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(violating, direct / two_hop, 0.0)
+            row_ratio += ratios.sum(axis=0)
+            row_count += violating.sum(axis=0)
+        severity[a] = row_ratio / n
+        counts[a] = row_count
 
     # Edges with a missing direct measurement have undefined severity.
     measured = np.isfinite(matrix.values)

@@ -1,0 +1,1 @@
+"""Small cross-cutting utilities shared by otherwise independent layers."""

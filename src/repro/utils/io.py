@@ -1,0 +1,28 @@
+"""Shared file-writing helpers.
+
+Deliberately dependency-free so light call sites (golden snapshots, CLI
+report paths) never drag heavier subsystems in just to write a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+PathLike = Union[str, Path]
+
+
+def write_json_report(path: PathLike, payload: Mapping[str, Any]) -> None:
+    """Write a structured report/snapshot as diff-friendly JSON.
+
+    Shared by the run reports (``BENCH_experiments.json``,
+    ``BENCH_scenarios.json``) and the golden snapshots: parents are
+    created, keys sorted, and the file ends with a newline.
+    """
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -16,6 +16,22 @@ from repro.delayspace.synthetic import euclidean_delay_space
 from repro.tiv.severity import compute_tiv_severity
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden snapshots under tests/golden/snapshots "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run should rewrite golden snapshots instead of asserting."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture(scope="session")
 def tiny_tiv_matrix() -> DelayMatrix:
     """A 4-node matrix with one blatant TIV (edge 0-2 is inflated)."""

@@ -134,3 +134,76 @@ class TestClusteredDelaySpace:
             SyntheticSpaceConfig(n_nodes=60, tiv_edge_fraction=0.45), rng=7
         )
         assert violating_triangle_fraction(high) > violating_triangle_fraction(low)
+
+
+class TestAccessDelayDistribution:
+    def test_invalid_distribution_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpaceConfig(access_delay_distribution="uniform")
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            SyntheticSpaceConfig(access_delay_distribution="pareto", access_delay_shape=1.0)
+
+    def test_pareto_access_changes_the_matrix(self):
+        exponential = clustered_delay_space(SyntheticSpaceConfig(n_nodes=40), rng=3)
+        pareto = clustered_delay_space(
+            SyntheticSpaceConfig(n_nodes=40, access_delay_distribution="pareto"), rng=3
+        )
+        assert not np.array_equal(exponential.values, pareto.values)
+
+    def test_pareto_access_keeps_comparable_scale(self):
+        # Both distributions are parameterised to the same mean, so the
+        # typical delay level should not shift wildly, only the tail.
+        exponential = clustered_delay_space(SyntheticSpaceConfig(n_nodes=60), rng=9)
+        pareto = clustered_delay_space(
+            SyntheticSpaceConfig(n_nodes=60, access_delay_distribution="pareto"), rng=9
+        )
+        ratio = np.nanmedian(pareto.values) / np.nanmedian(exponential.values)
+        assert 0.5 < ratio < 2.0
+
+    def test_default_distribution_stream_unchanged(self):
+        # The knob's default must not perturb existing seeds: an explicitly
+        # exponential config reproduces the pre-knob generation exactly.
+        default = clustered_delay_space(SyntheticSpaceConfig(n_nodes=30), rng=1)
+        explicit = clustered_delay_space(
+            SyntheticSpaceConfig(n_nodes=30, access_delay_distribution="exponential"),
+            rng=1,
+        )
+        assert np.array_equal(default.values, explicit.values)
+
+
+class TestTivEdgeMask:
+    def test_mask_shape_and_symmetry(self):
+        config = SyntheticSpaceConfig(n_nodes=40, tiv_edge_fraction=0.2)
+        matrix, mask = clustered_delay_space(config, rng=2, return_tiv_edges=True)
+        assert mask.shape == (40, 40)
+        assert mask.dtype == bool
+        assert np.array_equal(mask, mask.T)
+        assert not mask.diagonal().any()
+
+    def test_mask_fraction_matches_request(self):
+        n = 50
+        config = SyntheticSpaceConfig(n_nodes=n, tiv_edge_fraction=0.25)
+        _, mask = clustered_delay_space(config, rng=4, return_tiv_edges=True)
+        iu = np.triu_indices(n, k=1)
+        assert mask[iu].sum() == round(0.25 * iu[0].size)
+
+    def test_zero_fraction_gives_empty_mask(self):
+        config = SyntheticSpaceConfig(n_nodes=20, tiv_edge_fraction=0.0)
+        _, mask = clustered_delay_space(config, rng=0, return_tiv_edges=True)
+        assert not mask.any()
+
+    def test_both_flags_return_clusters_then_mask(self):
+        config = SyntheticSpaceConfig(n_nodes=20)
+        matrix, clusters, mask = clustered_delay_space(
+            config, rng=0, return_clusters=True, return_tiv_edges=True
+        )
+        assert clusters.shape == (20,)
+        assert mask.shape == (20, 20)
+
+    def test_mask_does_not_change_generation(self):
+        config = SyntheticSpaceConfig(n_nodes=25)
+        plain = clustered_delay_space(config, rng=6)
+        with_mask, _ = clustered_delay_space(config, rng=6, return_tiv_edges=True)
+        assert np.array_equal(plain.values, with_mask.values)

@@ -282,7 +282,7 @@ class TestWarmPhaseScoping:
         # artefact (no failure, just duplicated wall-clock).
         cache_dir = tmp_path / "artifacts"
         engine = ExperimentEngine(TINY, jobs=1, cache_dir=cache_dir)
-        engine._warm(ArtifactCache(cache_dir), [experiment_id])
+        engine.warm(ArtifactCache(cache_dir), [experiment_id])
 
         counting = ArtifactCache(cache_dir)
         run_experiment(

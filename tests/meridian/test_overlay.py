@@ -198,3 +198,89 @@ class TestQueryBehaviour:
         )
         assert result.selected == 1
         assert not result.restarted
+
+
+class TestDegenerateOverlays:
+    """Edge cases: empty rings, all-excluded candidate sets, minimal overlays."""
+
+    def test_single_node_overlay_rejected(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            MeridianOverlay(small_internet_matrix, [5])
+
+    def test_empty_iterable_rejected(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            MeridianOverlay(small_internet_matrix, [])
+
+    def test_all_edges_excluded_leaves_every_ring_empty(self, small_internet_matrix):
+        # The §4.3 strawman taken to its limit: every candidate edge is
+        # flagged as TIV and filtered, so no node can populate any ring.
+        ids = list(range(6))
+        excluded = {(i, j) for i in ids for j in ids if i < j}
+        overlay = MeridianOverlay(
+            small_internet_matrix,
+            ids,
+            rng=0,
+            full_membership=True,
+            excluded_edges=excluded,
+        )
+        for node_id in ids:
+            assert overlay.node(node_id).members() == []
+            assert overlay.node(node_id).eligible_members(10.0) == []
+        assert all(sum(r) == 0 for r in overlay.ring_occupancy().values())
+
+    def test_query_with_empty_rings_returns_start_node(self, small_internet_matrix):
+        # With no ring members the query cannot forward anywhere: it must
+        # terminate immediately at the start node after its single probe.
+        ids = [0, 1, 2]
+        excluded = {(0, 1), (0, 2), (1, 2)}
+        overlay = MeridianOverlay(
+            small_internet_matrix,
+            ids,
+            rng=0,
+            full_membership=True,
+            excluded_edges=excluded,
+        )
+        result = overlay.closest_neighbor_query(10, start_node=0)
+        assert result.selected == 0
+        assert result.probes == 1
+        assert result.hops == [0]
+        # The ground-truth optimum is still computed over all Meridian nodes.
+        assert result.optimal in ids
+
+    def test_unmeasured_edges_leave_rings_empty(self):
+        # Missing measurements (nan) between the Meridian nodes must be
+        # skipped during construction, not stored as members.
+        delays = np.array(
+            [
+                [0.0, np.nan, 20.0],
+                [np.nan, 0.0, 30.0],
+                [20.0, 30.0, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        overlay = MeridianOverlay(matrix, [0, 1], rng=0, full_membership=True)
+        assert overlay.node(0).members() == []
+        assert overlay.node(1).members() == []
+        result = overlay.closest_neighbor_query(2, start_node=0)
+        assert result.selected == 0
+        assert result.selected_delay == 20.0
+
+    def test_two_node_minimal_overlay_answers_queries(self, small_internet_matrix):
+        overlay = MeridianOverlay(small_internet_matrix, [0, 1], rng=0, full_membership=True)
+        result = overlay.closest_neighbor_query(40, start_node=0)
+        assert result.selected in (0, 1)
+        assert result.optimal in (0, 1)
+        assert result.probes >= 1
+
+    def test_target_with_no_measured_meridian_delay_raises(self):
+        delays = np.array(
+            [
+                [0.0, 5.0, np.nan],
+                [5.0, 0.0, np.nan],
+                [np.nan, np.nan, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        overlay = MeridianOverlay(matrix, [0, 1], rng=0, full_membership=True)
+        with pytest.raises(MeridianError):
+            overlay.true_closest(2)

@@ -8,9 +8,15 @@ from hypothesis.extra import numpy as hnp
 
 from repro.delayspace.matrix import DelayMatrix
 from repro.delayspace.shortest_path import detour_gains, shortest_path_matrix
-from repro.delayspace.synthetic import euclidean_delay_space
+from repro.delayspace.synthetic import (
+    SyntheticSpaceConfig,
+    clustered_delay_space,
+    euclidean_delay_space,
+)
 from repro.meridian.rings import MeridianConfig, ring_bounds, ring_index
 from repro.neighbor.selection import percentage_penalty
+from repro.scenarios.generators import load_scenario_dataset
+from repro.scenarios.spec import Scenario
 from repro.stats.binning import bin_by_value
 from repro.stats.cdf import ECDF
 from repro.tiv.severity import compute_tiv_severity, triangulation_ratios
@@ -200,6 +206,93 @@ class TestMeridianRingProperties:
         config = MeridianConfig()
         lo, hi = sorted((d1, d2))
         assert ring_index(lo, config) <= ring_index(hi, config)
+
+
+def scenarios():
+    """Strategy producing valid scenario specifications across every dimension."""
+    return st.builds(
+        Scenario,
+        name=st.just("prop"),
+        topology=st.sampled_from(("default", "two_continent", "five_cluster", "ring", "flat")),
+        tiv_level=st.sampled_from(("none", "light", "baseline", "heavy")),
+        access_model=st.sampled_from(("default", "powerlaw")),
+        asymmetry=st.sampled_from((0.0, 0.05, 0.15)),
+        extra_jitter=st.sampled_from((0.0, 0.05, 0.1)),
+        dropout=st.sampled_from((0.0, 0.05, 0.15)),
+        churn=st.sampled_from((0.0, 0.2, 0.4)),
+        rescale=st.sampled_from((0.5, 1.0, 2.0)),
+        seed_offset=st.integers(min_value=0, max_value=3),
+    )
+
+
+class TestScenarioGeneratorProperties:
+    """Invariants of the scenario generator layer (ISSUE 2 satellite)."""
+
+    @given(scenarios(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetry_and_zero_diagonal(self, scenario, seed):
+        # Scenario matrices are RTT matrices: per-direction asymmetry is
+        # averaged back in, so symmetry holds even when asymmetry is
+        # requested, and the diagonal stays zero.
+        matrix, _ = load_scenario_dataset(scenario, "ds2_like", 24, seed)
+        values = matrix.values
+        assert np.allclose(values, values.T, equal_nan=True)
+        assert np.allclose(np.diag(values), 0.0)
+
+    @given(scenarios(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_per_seed(self, scenario, seed):
+        first, c1 = load_scenario_dataset(scenario, "ds2_like", 24, seed)
+        second, c2 = load_scenario_dataset(scenario, "ds2_like", 24, seed)
+        assert np.array_equal(first.values, second.values, equal_nan=True)
+        assert np.array_equal(c1, c2)
+
+    @given(scenarios(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_requested_node_count_preserved(self, scenario, seed):
+        matrix, clusters = load_scenario_dataset(scenario, "ds2_like", 24, seed)
+        assert matrix.n_nodes == 24
+        assert clusters.shape == (24,)
+
+    @given(
+        st.integers(min_value=12, max_value=40),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_requested_tiv_fraction_exact(self, n, fraction, seed):
+        # The generator's ground-truth mask must contain exactly the
+        # requested fraction of inflated edges (rounded to whole edges).
+        config = SyntheticSpaceConfig(n_nodes=n, tiv_edge_fraction=fraction)
+        _, mask = clustered_delay_space(config, rng=seed, return_tiv_edges=True)
+        iu = np.triu_indices(n, k=1)
+        assert mask[iu].sum() == round(fraction * iu[0].size)
+        assert np.array_equal(mask, mask.T)
+        assert not mask.diagonal().any()
+
+    @given(
+        st.sampled_from((0.0, 0.05, 0.1, 0.2)),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_requested_dropout_fraction_exact(self, dropout, seed):
+        scenario = Scenario("prop", dropout=dropout)
+        matrix, _ = load_scenario_dataset(scenario, "ds2_like", 24, seed)
+        iu = np.triu_indices(24, k=1)
+        missing = np.count_nonzero(~np.isfinite(matrix.values[iu]))
+        assert missing == round(dropout * iu[0].size)
+
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_tiv_none_yields_violation_free_base(self, seed):
+        # With injection off and jitter disabled the clustered geometry is
+        # metric (positions + additive access delays), so severity is zero.
+        config = SyntheticSpaceConfig(
+            n_nodes=20, tiv_edge_fraction=0.0, jitter_fraction=0.0
+        )
+        matrix = clustered_delay_space(config, rng=seed)
+        result = compute_tiv_severity(matrix)
+        assert np.all(result.edge_severities() == 0.0)
 
 
 class TestPenaltyProperties:

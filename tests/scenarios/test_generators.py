@@ -1,0 +1,139 @@
+"""Tests for the scenario generator layer."""
+
+import numpy as np
+import pytest
+
+from repro.delayspace.datasets import get_preset
+from repro.scenarios.generators import (
+    TOPOLOGIES,
+    load_scenario_dataset,
+    scenario_space_config,
+)
+from repro.scenarios.library import get_scenario
+from repro.scenarios.spec import Scenario
+from repro.tiv.severity import compute_tiv_severity
+
+N = 40
+SEED = 7
+
+
+def load(scenario, preset="ds2_like", n=N, seed=SEED):
+    return load_scenario_dataset(scenario, preset, n, seed)
+
+
+class TestSpaceConfig:
+    def test_topology_override(self):
+        base = get_preset("ds2_like").config
+        cfg = scenario_space_config(Scenario("s", topology="five_cluster"), base, N)
+        assert cfg.clusters == TOPOLOGIES["five_cluster"]
+        assert cfg.n_nodes == N
+
+    def test_flat_topology_has_no_clusters(self):
+        base = get_preset("ds2_like").config
+        cfg = scenario_space_config(Scenario("s", topology="flat"), base, N)
+        assert cfg.clusters == ()
+
+    def test_tiv_none_disables_injection(self):
+        base = get_preset("ds2_like").config
+        cfg = scenario_space_config(Scenario("s", tiv_level="none"), base, N)
+        assert cfg.tiv_edge_fraction == 0.0
+
+    def test_tiv_heavy_scales_up(self):
+        base = get_preset("ds2_like").config
+        cfg = scenario_space_config(Scenario("s", tiv_level="heavy"), base, N)
+        assert cfg.tiv_edge_fraction > base.tiv_edge_fraction
+        assert cfg.inflation_shape < base.inflation_shape
+        assert cfg.tiv_edge_fraction <= 0.6
+
+    def test_powerlaw_access_switches_distribution(self):
+        base = get_preset("ds2_like").config
+        cfg = scenario_space_config(Scenario("s", access_model="powerlaw"), base, N)
+        assert cfg.access_delay_distribution == "pareto"
+
+
+class TestLoadScenarioDataset:
+    def test_none_matches_plain_load(self):
+        from repro.delayspace.datasets import load_dataset
+
+        matrix, clusters = load(None)
+        plain, plain_clusters = load_dataset(
+            "ds2_like", n_nodes=N, rng=SEED, return_clusters=True
+        )
+        assert np.array_equal(matrix.values, plain.values, equal_nan=True)
+        assert np.array_equal(clusters, plain_clusters)
+
+    def test_noop_scenario_matches_plain_load(self):
+        matrix, _ = load(get_scenario("baseline"))
+        plain, _ = load(None)
+        assert np.array_equal(matrix.values, plain.values, equal_nan=True)
+
+    def test_deterministic_per_seed(self):
+        scenario = get_scenario("noisy_sparse")
+        first, c1 = load(scenario)
+        second, c2 = load(scenario)
+        assert np.array_equal(first.values, second.values, equal_nan=True)
+        assert np.array_equal(c1, c2)
+
+    def test_different_seeds_differ(self):
+        scenario = get_scenario("noisy_sparse")
+        a, _ = load(scenario, seed=1)
+        b, _ = load(scenario, seed=2)
+        assert not np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_node_count_always_preserved(self):
+        for name in ("baseline", "churn_snapshot", "churn_heavy", "noisy_sparse"):
+            matrix, clusters = load(get_scenario(name))
+            assert matrix.n_nodes == N
+            assert clusters.shape == (N,)
+
+    def test_churn_differs_from_baseline(self):
+        churned, _ = load(get_scenario("churn_snapshot"))
+        baseline, _ = load(None)
+        assert not np.array_equal(churned.values, baseline.values, equal_nan=True)
+
+    def test_dropout_fraction_matches_request(self):
+        scenario = Scenario("s", dropout=0.10)
+        matrix, _ = load(scenario)
+        iu = np.triu_indices(N, k=1)
+        missing = np.count_nonzero(~np.isfinite(matrix.values[iu]))
+        assert missing == round(0.10 * iu[0].size)
+
+    def test_rescale_scales_delays(self):
+        doubled, _ = load(Scenario("s", rescale=2.0))
+        baseline, _ = load(None)
+        ratio = np.nanmedian(doubled.values[baseline.values > 0]) / np.nanmedian(
+            baseline.values[baseline.values > 0]
+        )
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_tiv_free_scenario_reduces_severity(self):
+        free, _ = load(get_scenario("tiv_free"))
+        heavy, _ = load(get_scenario("heavy_tiv"))
+        free_mean = compute_tiv_severity(free).summary()["mean"]
+        heavy_mean = compute_tiv_severity(heavy).summary()["mean"]
+        # Disabling the detour injection leaves only measurement jitter, so
+        # severities collapse to near zero; heavy injection dwarfs them.
+        assert free_mean < 0.05
+        assert heavy_mean > 5 * free_mean
+
+    def test_asymmetric_scenario_stays_symmetric_rtt(self):
+        # Per-direction asymmetry is averaged back into the RTT matrix, so
+        # the DelayMatrix invariant (symmetry) must survive.
+        matrix, _ = load(get_scenario("asymmetric"))
+        assert np.allclose(matrix.values, matrix.values.T, equal_nan=True)
+        baseline, _ = load(None)
+        assert not np.array_equal(matrix.values, baseline.values, equal_nan=True)
+
+    def test_euclidean_preset_applies_only_perturbations(self):
+        # Pre-generation dimensions are no-ops on Euclidean presets...
+        topo, _ = load(Scenario("s", topology="ring"), preset="uniform_euclidean")
+        plain, _ = load(None, preset="uniform_euclidean")
+        assert np.array_equal(topo.values, plain.values)
+        # ...but perturbations still apply.
+        rescaled, _ = load(Scenario("s", rescale=2.0), preset="uniform_euclidean")
+        assert np.nanmax(rescaled.values) > 1.5 * np.nanmax(plain.values)
+
+    def test_flat_topology_ground_truth_is_all_noise(self):
+        matrix, clusters = load(get_scenario("flat_topology"))
+        assert matrix.n_nodes == N
+        assert set(np.unique(clusters)) == {0}

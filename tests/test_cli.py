@@ -143,3 +143,72 @@ class TestRunAllCommand:
         with pytest.raises(SystemExit) as excinfo:
             main(["run-all", "--only"])
         assert excinfo.value.code == 2
+
+
+class TestScenarioCommands:
+    def test_scenarios_lists_full_library_by_default(self, capsys):
+        code, out, _ = run_cli(capsys, "scenarios")
+        assert code == 0
+        rows = json.loads(out)
+        names = {row["name"] for row in rows}
+        assert {"baseline", "tiv_free", "heavy_tiv", "asymmetric"} <= names
+
+    def test_scenarios_matrix_flag_restricts_listing(self, capsys):
+        code, out, _ = run_cli(capsys, "scenarios", "--matrix", "small")
+        small = {row["name"] for row in json.loads(out)}
+        assert code == 0
+        code, out, _ = run_cli(capsys, "scenarios", "--matrix", "full")
+        full = {row["name"] for row in json.loads(out)}
+        assert code == 0
+        assert small < full
+
+    def test_scenarios_unknown_matrix_is_an_argparse_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["scenarios", "--matrix", "huge"])
+
+    def test_run_scenarios_matrix_and_only_wired_through(self, capsys, tmp_path):
+        report_path = tmp_path / "BENCH_scenarios.json"
+        code, out, _ = run_cli(
+            capsys,
+            "run-scenarios",
+            "--matrix",
+            "small",
+            "--only",
+            "fig03",
+            "--nodes",
+            "32",
+            "--report",
+            str(report_path),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["matrix"] == "small"
+        # --only reached every scenario's sweep...
+        for row in payload["scenarios"]:
+            assert [e["id"] for e in row["report"]["experiments"]] == ["fig03"]
+        # ...and --nodes/--report were honoured.
+        assert payload["config"]["n_nodes"] == 32
+        assert report_path.exists()
+
+    def test_run_scenarios_explicit_names_override_matrix(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "run-scenarios",
+            "--scenario",
+            "tiv_free",
+            "--only",
+            "fig03",
+            "--nodes",
+            "32",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["matrix"] == "custom"
+        assert [r["scenario"]["name"] for r in payload["scenarios"]] == ["tiv_free"]
+
+    def test_run_with_unknown_scenario_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "run", "fig03", "--scenario", "not_real")
+        assert code == 1
+        assert "unknown scenario" in err

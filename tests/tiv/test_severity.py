@@ -151,3 +151,47 @@ class TestViolatingTriangleFraction:
         matrix = DelayMatrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
         with pytest.raises(DelayMatrixError):
             violating_triangle_fraction(matrix)
+
+
+class TestChunkedComputation:
+    """The chunk_size knob bounds per-row memory without changing results."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 16, 80, 1000])
+    def test_chunked_matches_unchunked(self, small_internet_matrix, chunk_size):
+        full = compute_tiv_severity(small_internet_matrix)
+        chunked = compute_tiv_severity(small_internet_matrix, chunk_size=chunk_size)
+        np.testing.assert_allclose(
+            chunked.severity, full.severity, rtol=1e-12, atol=1e-12, equal_nan=True
+        )
+        assert np.array_equal(chunked.violation_counts, full.violation_counts)
+        assert chunked.n_nodes == full.n_nodes
+
+    def test_chunked_matches_on_matrix_with_missing_edges(self):
+        rng = np.random.default_rng(5)
+        n = 30
+        upper = rng.uniform(1.0, 300.0, size=(n, n))
+        delays = np.triu(upper, k=1)
+        delays = delays + delays.T
+        iu = np.triu_indices(n, k=1)
+        drop = rng.choice(iu[0].size, size=40, replace=False)
+        delays[(iu[0][drop], iu[1][drop])] = np.nan
+        delays[(iu[1][drop], iu[0][drop])] = np.nan
+        matrix = DelayMatrix(delays, symmetrize=False)
+        full = compute_tiv_severity(matrix)
+        chunked = compute_tiv_severity(matrix, chunk_size=4)
+        np.testing.assert_allclose(
+            chunked.severity, full.severity, rtol=1e-12, atol=1e-12, equal_nan=True
+        )
+        assert np.array_equal(chunked.violation_counts, full.violation_counts)
+
+    def test_chunk_size_one_on_tiny_matrix(self, tiv_matrix):
+        full = compute_tiv_severity(tiv_matrix)
+        chunked = compute_tiv_severity(tiv_matrix, chunk_size=1)
+        np.testing.assert_allclose(
+            chunked.severity, full.severity, rtol=1e-12, equal_nan=True
+        )
+
+    @pytest.mark.parametrize("chunk_size", [0, -3])
+    def test_invalid_chunk_size_rejected(self, tiv_matrix, chunk_size):
+        with pytest.raises(ValueError):
+            compute_tiv_severity(tiv_matrix, chunk_size=chunk_size)
