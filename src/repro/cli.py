@@ -15,6 +15,8 @@ driven without writing Python::
     python -m repro run-scenarios --matrix small \
         --jobs 2 --cache-dir .cache/experiments \
         --report BENCH_scenarios.json             # figure suite x scenario matrix
+    python -m repro bench --sizes 100,200 \
+        --report BENCH_perf.json                  # time the hot kernels
 """
 
 from __future__ import annotations
@@ -213,6 +215,29 @@ def _cmd_run_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_benchmarks, write_report
+
+    try:
+        sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, got {args.sizes!r}",
+              file=sys.stderr)
+        return 1
+    report = run_benchmarks(
+        kernels=args.kernels,
+        sizes=sizes,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    _print_json(report.as_dict())
+    if args.report:
+        write_report(report, args.report)
+        print(f"wrote bench report to {args.report}", file=sys.stderr)
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
@@ -340,6 +365,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sweep_arguments(run_scenarios, "BENCH_scenarios.json")
     run_scenarios.set_defaults(func=_cmd_run_scenarios)
+
+    # Only the light kernel registry: the timing harness itself is imported
+    # lazily when the command runs.
+    from repro.perf.kernels import available_kernels
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the library's hot kernels and write BENCH_perf.json",
+    )
+    bench.add_argument(
+        "--sizes",
+        default="100,200",
+        help="comma-separated node counts to benchmark at (default: 100,200)",
+    )
+    bench.add_argument(
+        "--kernels",
+        nargs="+",
+        choices=available_kernels(),
+        default=None,
+        help="subset of kernels to time (default: all)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="timed calls per kernel/size (default: 3)"
+    )
+    bench.add_argument(
+        "--warmup", type=int, default=1, help="untimed warmup calls (default: 1)"
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--report", default=None, help="write the JSON report (BENCH_perf.json) here"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     report = sub.add_parser(
         "report", help="run experiments and render a Markdown results report"

@@ -89,6 +89,8 @@ class VivaldiSimulation:
     neighbors:
         Optional explicit neighbour lists passed through to
         :class:`VivaldiSystem`.
+    kernel:
+        Step kernel passed through to :class:`VivaldiSystem`.
     """
 
     def __init__(
@@ -98,8 +100,11 @@ class VivaldiSimulation:
         *,
         rng: RngLike = None,
         neighbors: Optional[Sequence[Sequence[int]]] = None,
+        kernel: str = "batched",
     ):
-        self._system = VivaldiSystem(matrix, config, rng=rng, neighbors=neighbors)
+        self._system = VivaldiSystem(
+            matrix, config, rng=rng, neighbors=neighbors, kernel=kernel
+        )
         self._matrix = matrix
 
     @property
@@ -126,9 +131,10 @@ class VivaldiSimulation:
             (Fig. 10 uses the three edges of the TIV triangle).
         track_oscillation:
             Record the running min/max predicted distance of every measured
-            edge so the oscillation range can be reported (Fig. 11).  This
-            materialises the full predicted matrix each step, so it is the
-            most expensive option.
+            edge so the oscillation range can be reported (Fig. 11).  Each
+            step evaluates one distance per measured edge (an O(E·d)
+            gather), so this is the most expensive option, though it no
+            longer materialises the full predicted matrix.
         track_movement:
             Record per-node movement magnitudes each step.
         """
@@ -140,8 +146,17 @@ class VivaldiSimulation:
                 raise EmbeddingError("tracked edges need two distinct endpoints")
 
         times = np.zeros(seconds)
-        edge_errors: dict[tuple[int, int], list[float]] = {edge: [] for edge in tracked}
         measured = self._matrix.values
+
+        # Tracked edges are recorded as one (steps, n_tracked) array filled
+        # by a single predict_edges gather per step instead of per-pair
+        # predict calls in a Python loop.
+        tracked_rows = np.asarray([i for i, _ in tracked], dtype=np.int64)
+        tracked_cols = np.asarray([j for _, j in tracked], dtype=np.int64)
+        tracked_errors = np.zeros((seconds, len(tracked)))
+        tracked_measured = (
+            measured[tracked_rows, tracked_cols].astype(float) if tracked else None
+        )
 
         rows = cols = None
         running_min = running_max = None
@@ -150,19 +165,21 @@ class VivaldiSimulation:
             running_min = np.full(rows.size, np.inf)
             running_max = np.full(rows.size, -np.inf)
 
-        movements: list[np.ndarray] = []
+        movements = np.zeros((seconds, self._system.n_nodes)) if track_movement else None
 
         for step in range(seconds):
             movement = self._system.step()
             times[step] = self._system.simulation_time
             if track_movement:
-                movements.append(movement)
-            for (i, j) in tracked:
-                predicted = self._system.predict(i, j)
-                edge_errors[(i, j)].append(predicted - float(measured[i, j]))
+                movements[step] = movement
+            if tracked:
+                predicted = self._system.predict_edges(tracked_rows, tracked_cols)
+                tracked_errors[step] = predicted - tracked_measured
             if track_oscillation:
-                predicted_matrix = self._system.predicted_matrix()
-                values = predicted_matrix[rows, cols]
+                # Only the measured edges are evaluated — predict_edges skips
+                # the full N x N predicted matrix the old path materialised
+                # every step.
+                values = self._system.predict_edges(rows, cols)
                 np.minimum(running_min, values, out=running_min)
                 np.maximum(running_max, values, out=running_max)
 
@@ -174,10 +191,12 @@ class VivaldiSimulation:
 
         return EmbeddingTrace(
             times=times,
-            edge_errors={edge: np.asarray(vals) for edge, vals in edge_errors.items()},
+            edge_errors={
+                edge: tracked_errors[:, column] for column, edge in enumerate(tracked)
+            },
             oscillation_range=oscillation,
             edge_delays=edge_delays,
-            movement_speeds=np.vstack(movements) if movements else None,
+            movement_speeds=movements,
         )
 
 

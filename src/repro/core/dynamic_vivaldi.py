@@ -100,6 +100,9 @@ class DynamicNeighborVivaldi:
     rng:
         Seed or generator (controls initial neighbours, candidate sampling
         and the Vivaldi dynamics).
+    kernel:
+        Step kernel passed through to the underlying
+        :class:`~repro.coords.vivaldi.VivaldiSystem`.
     """
 
     def __init__(
@@ -108,6 +111,7 @@ class DynamicNeighborVivaldi:
         config: DynamicVivaldiConfig | None = None,
         *,
         rng: RngLike = None,
+        kernel: str = "batched",
     ):
         self._matrix = matrix
         self._config = config if config is not None else DynamicVivaldiConfig()
@@ -116,7 +120,7 @@ class DynamicNeighborVivaldi:
             matrix, n_neighbors=self._config.vivaldi.n_neighbors, rng=self._rng
         )
         self._system = VivaldiSystem(
-            matrix, self._config.vivaldi, rng=self._rng, neighbors=initial
+            matrix, self._config.vivaldi, rng=self._rng, neighbors=initial, kernel=kernel
         )
         self._iterations: list[DynamicVivaldiIteration] = []
 
@@ -139,40 +143,87 @@ class DynamicNeighborVivaldi:
         )
 
     def _refine_neighbors(self) -> list[list[int]]:
-        """Build the next neighbour lists by dropping the smallest-ratio edges."""
+        """Build the next neighbour lists by dropping the smallest-ratio edges.
+
+        The whole refinement is array-shaped: one RNG call draws the random
+        extra candidates of every node, the predicted-vs-measured ratios of
+        every (node, candidate) pair come from whole-matrix division, and
+        the per-node ranking is a row-wise stable argsort.  Ties rank the
+        current neighbours ahead of the fresh candidates (in list order),
+        which keeps the refinement deterministic per seed.
+        """
         n = self._matrix.n_nodes
         k = min(self._config.vivaldi.n_neighbors, n - 1)
-        extra_per_node = (self._config.candidate_multiplier - 1) * k
+        pool_size = min(self._config.candidate_multiplier * k, n - 1)
         measured = self._matrix.values
         predicted = self._system.predicted_matrix()
         current = self._system.neighbors
 
+        # Unmeasurable edges get an infinite ratio so they are never flagged
+        # as TIV-suspect (the paper's alert only fires on shrunken edges).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                np.isfinite(measured) & (measured > 0), predicted / measured, np.inf
+            )
+
+        # A random priority per (node, candidate) pair; current neighbours
+        # and the node itself are pushed to the back so the front of each
+        # row's ordering is a uniform sample of the fresh candidates.
+        # External set_neighbors permits ragged lists and duplicate entries;
+        # dedupe (order-preserving, so tie-ranking stays deterministic)
+        # before pooling, like the pre-vectorised set-based implementation.
+        current = [list(dict.fromkeys(nbrs)) for nbrs in current]
+
+        priorities = self._rng.random((n, n))
+        priorities[np.arange(n), np.arange(n)] = np.inf
+        member_rows = np.fromiter(
+            (i for i, nbrs in enumerate(current) for _ in nbrs), np.int64
+        )
+        member_cols = np.fromiter(
+            (j for nbrs in current for j in nbrs), np.int64
+        )
+        priorities[member_rows, member_cols] = np.inf
+
+        lengths = {len(nbrs) for nbrs in current}
+        if len(lengths) == 1:
+            # Uniform current lists (the class always produces these): the
+            # pool/rank/keep pipeline runs as three whole-matrix gathers.
+            width = lengths.pop()
+            n_extras = max(0, pool_size - width)
+            if n_extras > 0:
+                # Only the n_extras smallest priorities per row matter
+                # (their relative order is irrelevant: ties in the ratio
+                # ranking below resolve by pool position, which is
+                # deterministic either way), so partition instead of a
+                # full-row sort.  n_extras <= n-1-width, so the selection
+                # can never reach the infinite-priority member slots.
+                extras = np.argpartition(priorities, n_extras - 1, axis=1)[:, :n_extras]
+            else:
+                extras = np.empty((n, 0), dtype=np.int64)
+            pool = np.concatenate(
+                [np.asarray(current, dtype=np.int64), extras], axis=1
+            )
+            pool_ratios = np.take_along_axis(ratio, pool, axis=1)
+            order = np.argsort(-pool_ratios, axis=1, kind="stable")[:, :k]
+            kept = np.take_along_axis(pool, order, axis=1)
+            return [[int(j) for j in row] for row in kept]
+
+        # Ragged current lists (only reachable via an external
+        # set_neighbors): same algorithm, assembled row by row.  The full
+        # row sort keeps members (infinite priority) safely at the back
+        # even though rows need different extras counts.
+        extras = np.argsort(priorities, axis=1)
         new_lists: list[list[int]] = []
         for i in range(n):
-            pool = set(current[i])
-            candidates = np.delete(np.arange(n), i)
-            self._rng.shuffle(candidates)
-            for j in candidates:
-                if len(pool) >= self._config.candidate_multiplier * k:
-                    break
-                if int(j) not in pool:
-                    pool.add(int(j))
-            _ = extra_per_node  # pool is topped up to multiplier * k above
-            ranked = []
-            for j in pool:
-                d = measured[i, j]
-                if not np.isfinite(d) or d <= 0:
-                    ratio = np.inf  # unmeasurable edges are never flagged
-                else:
-                    ratio = predicted[i, j] / d
-                ranked.append((ratio, j))
-            # Keep the k candidates with the LARGEST prediction ratio: small
-            # ratios mean the embedding shrank the edge, i.e. likely severe TIV.
-            ranked.sort(key=lambda item: item[0], reverse=True)
-            kept = [j for _, j in ranked[:k]]
-            if not kept:
-                kept = current[i]
-            new_lists.append(kept)
+            row_pool = np.concatenate(
+                [
+                    np.asarray(current[i], dtype=np.int64),
+                    extras[i, : max(0, pool_size - len(current[i]))],
+                ]
+            )
+            order = np.argsort(-ratio[i, row_pool], kind="stable")[:k]
+            kept = [int(j) for j in row_pool[order]]
+            new_lists.append(kept if kept else list(current[i]))
         return new_lists
 
     def run(self, iterations: int) -> list[DynamicVivaldiIteration]:

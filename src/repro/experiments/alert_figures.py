@@ -143,7 +143,9 @@ def fig22_23_dynamic_neighbor(
     ctx = ExperimentContext.resolve(config, context)
     cfg = ctx.config
     dynamic_config = DynamicVivaldiConfig(period=cfg.vivaldi_seconds)
-    dynamic = DynamicNeighborVivaldi(ctx.matrix, dynamic_config, rng=cfg.seed + 8)
+    dynamic = DynamicNeighborVivaldi(
+        ctx.matrix, dynamic_config, rng=cfg.seed + 8, kernel=cfg.vivaldi_kernel
+    )
     snapshots = dynamic.run(iterations)
     report = tuple(i for i in report_iterations if i <= iterations)
 

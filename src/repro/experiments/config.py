@@ -30,6 +30,12 @@ class ExperimentConfig:
     vivaldi_seconds:
         Simulated seconds each Vivaldi embedding runs before being treated
         as converged (paper: 100 s).
+    vivaldi_kernel:
+        Step kernel of the shared Vivaldi embedding: ``"batched"``
+        (default, whole-array Jacobi rounds) or ``"reference"`` (the scalar
+        Gauss-Seidel loop kept for equivalence checks).  The kernels follow
+        different per-seed streams, so the kernel is part of the
+        embedding's cache address.
     candidate_fraction:
         Fraction of nodes used as selection candidates in the
         coordinate-driven experiments (paper: 200 / 4000 = 5 %).
@@ -63,6 +69,7 @@ class ExperimentConfig:
     n_nodes: int = 240
     seed: int = 0
     vivaldi_seconds: int = 100
+    vivaldi_kernel: str = "batched"
     candidate_fraction: float = 0.05
     selection_runs: int = 3
     meridian_fraction: float = 0.5
@@ -81,6 +88,10 @@ class ExperimentConfig:
             raise ConfigError("selection_runs must be >= 1")
         if self.vivaldi_seconds < 1:
             raise ConfigError("vivaldi_seconds must be >= 1")
+        if self.vivaldi_kernel not in ("batched", "reference"):
+            raise ConfigError(
+                f"vivaldi_kernel must be 'batched' or 'reference', got {self.vivaldi_kernel!r}"
+            )
         if self.meridian_small_count < 2:
             raise ConfigError("meridian_small_count must be >= 2")
 

@@ -112,6 +112,11 @@ class ExperimentContext:
             "n_nodes": self.config.n_nodes,
             "seed": self.config.seed,
             "vivaldi_seconds": self.config.vivaldi_seconds,
+            # The kernel always joins the address (even at its default):
+            # the batched kernel follows a different per-seed stream than
+            # the scalar one, so entries written by pre-kernel versions of
+            # this code must read as misses, not as stale hits.
+            "kernel": self.config.vivaldi_kernel,
         }
         if self.scenario is not None and not self.scenario.is_noop:
             params["scenario"] = self.scenario.cache_params()
@@ -297,7 +302,12 @@ class ExperimentContext:
         params = self._embedding_params()
 
         def _restore_vivaldi(entry):
-            system = VivaldiSystem(self.matrix, VivaldiConfig(), rng=self.config.seed + 1)
+            system = VivaldiSystem(
+                self.matrix,
+                VivaldiConfig(),
+                rng=self.config.seed + 1,
+                kernel=self.config.vivaldi_kernel,
+            )
             system.restore_state(
                 entry.arrays["coordinates"],
                 entry.arrays["errors"],
@@ -309,7 +319,12 @@ class ExperimentContext:
         if restored is not None:
             self._vivaldi = restored
             return restored
-        system = VivaldiSystem(self.matrix, VivaldiConfig(), rng=self.config.seed + 1)
+        system = VivaldiSystem(
+            self.matrix,
+            VivaldiConfig(),
+            rng=self.config.seed + 1,
+            kernel=self.config.vivaldi_kernel,
+        )
         system.run(self.config.vivaldi_seconds)
         self._vivaldi = system
         if self.cache is not None:

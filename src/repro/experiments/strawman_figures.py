@@ -95,7 +95,11 @@ def fig17_vivaldi_filter(
         rng=ctx.config.seed + 5,
     )
     filtered_system = VivaldiSystem(
-        ctx.matrix, VivaldiConfig(), rng=ctx.config.seed + 6, neighbors=filtered_lists
+        ctx.matrix,
+        VivaldiConfig(),
+        rng=ctx.config.seed + 6,
+        neighbors=filtered_lists,
+        kernel=ctx.config.vivaldi_kernel,
     )
     filtered_system.run(ctx.config.vivaldi_seconds)
     filtered_result = experiment.run(filtered_system)

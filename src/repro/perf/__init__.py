@@ -1,0 +1,25 @@
+"""Performance benchmark subsystem.
+
+``repro.perf`` times the library's hot kernels — Vivaldi spring steps (both
+the batched and the reference kernel), TIV severity, all-pairs shortest
+paths and scenario generation — across matrix sizes, and writes a
+structured ``BENCH_perf.json`` report so the performance trajectory of the
+codebase accumulates run over run (locally and as a CI artifact).
+
+The CLI entry point is ``repro bench``; the programmatic surface is
+:func:`run_benchmarks` plus the kernel registry in
+:mod:`repro.perf.kernels`.
+"""
+
+from repro.perf.bench import BenchReport, KernelTiming, run_benchmarks, write_report
+from repro.perf.kernels import KernelSpec, available_kernels, get_kernel
+
+__all__ = [
+    "BenchReport",
+    "KernelSpec",
+    "KernelTiming",
+    "available_kernels",
+    "get_kernel",
+    "run_benchmarks",
+    "write_report",
+]

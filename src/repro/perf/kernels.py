@@ -1,0 +1,146 @@
+"""The named benchmark kernels.
+
+Each kernel is a :class:`KernelSpec`: a factory that, given a size and a
+seed, prepares all inputs up front and returns a zero-argument callable
+executing one unit of the hot path, plus the amount of work a call
+represents so the harness can report throughput.  Setup cost (dataset
+generation, system construction) deliberately stays outside the timed
+region.
+
+The registry is the single source of kernel names for the CLI, the bench
+harness and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+class BenchmarkError(ReproError):
+    """Raised for invalid benchmark requests (unknown kernel, bad sizes)."""
+
+
+#: A prepared kernel: call ``run()`` to execute one timed unit of work.
+PreparedKernel = Callable[[], object]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One named benchmark kernel.
+
+    Attributes
+    ----------
+    name:
+        Registry name (what ``repro bench --kernels`` accepts).
+    description:
+        One-line description of the timed operation.
+    units:
+        What a throughput of 1.0 means (e.g. ``"probes/s"``).
+    setup:
+        ``setup(size, seed) -> (run, work_per_call)``: prepares inputs and
+        returns the timed callable plus the work (in ``units`` numerators)
+        one call performs.
+    """
+
+    name: str
+    description: str
+    units: str
+    setup: Callable[[int, int], tuple[PreparedKernel, float]]
+
+
+def _dataset(size: int, seed: int):
+    from repro.delayspace.datasets import load_dataset
+
+    return load_dataset("ds2_like", n_nodes=size, rng=seed)
+
+
+def _setup_vivaldi_step(kernel: str):
+    def setup(size: int, seed: int) -> tuple[PreparedKernel, float]:
+        from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+
+        system = VivaldiSystem(_dataset(size, seed), VivaldiConfig(), rng=seed + 1, kernel=kernel)
+        # One call = one simulated second = `size` probes.  Successive calls
+        # keep advancing the same simulation, which is exactly the work the
+        # experiment harness pays per convergence second.
+        return system.step, float(size)
+
+    return setup
+
+
+def _setup_tiv_severity(size: int, seed: int) -> tuple[PreparedKernel, float]:
+    from repro.tiv.severity import compute_tiv_severity
+
+    matrix = _dataset(size, seed)
+    return (lambda: compute_tiv_severity(matrix)), float(size) * size
+
+
+def _setup_shortest_paths(size: int, seed: int) -> tuple[PreparedKernel, float]:
+    from repro.delayspace.shortest_path import shortest_path_matrix
+
+    matrix = _dataset(size, seed)
+    return (lambda: shortest_path_matrix(matrix)), float(size) * size
+
+
+def _setup_scenario_generation(size: int, seed: int) -> tuple[PreparedKernel, float]:
+    from repro.scenarios.generators import load_scenario_dataset
+    from repro.scenarios.library import get_scenario
+
+    scenario = get_scenario("heavy_tiv")
+    return (
+        lambda: load_scenario_dataset(scenario, "ds2_like", size, seed)
+    ), float(size) * size
+
+
+_KERNELS: dict[str, KernelSpec] = {
+    spec.name: spec
+    for spec in (
+        KernelSpec(
+            "vivaldi_step_batched",
+            "one simulated second of the batched (whole-array) Vivaldi kernel",
+            "probes/s",
+            _setup_vivaldi_step("batched"),
+        ),
+        KernelSpec(
+            "vivaldi_step_reference",
+            "one simulated second of the scalar reference Vivaldi kernel",
+            "probes/s",
+            _setup_vivaldi_step("reference"),
+        ),
+        KernelSpec(
+            "tiv_severity",
+            "full-matrix TIV severity (O(N^3), vectorised per source row)",
+            "edges/s",
+            _setup_tiv_severity,
+        ),
+        KernelSpec(
+            "shortest_paths",
+            "all-pairs shortest paths over the delay graph (scipy csgraph)",
+            "edges/s",
+            _setup_shortest_paths,
+        ),
+        KernelSpec(
+            "scenario_generation",
+            "heavy_tiv scenario dataset generation (synthesis + perturbations)",
+            "edges/s",
+            _setup_scenario_generation,
+        ),
+    )
+}
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names of all registered benchmark kernels."""
+    return tuple(_KERNELS)
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up one kernel by name."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown benchmark kernel {name!r}; available: {', '.join(_KERNELS)}"
+        ) from None

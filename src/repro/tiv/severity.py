@@ -61,6 +61,12 @@ class TIVSeverityResult:
         Edges are returned as ``(i, j)`` tuples with ``i < j``.  This is the
         primitive used both by the §4.3 naive filter strawman and by the
         alert-accuracy evaluation of Figs. 20–21.
+
+        Selection runs in O(E) via :func:`np.argpartition` rather than a
+        full O(E log E) sort.  Ties at the selection boundary are broken
+        deterministically: every edge strictly above the boundary severity
+        is included, and the remaining slots go to the boundary-severity
+        edges earliest in upper-triangle order.
         """
         if not 0 < fraction <= 1:
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
@@ -69,8 +75,15 @@ class TIVSeverityResult:
         finite = np.isfinite(vals)
         rows, cols, vals = iu[0][finite], iu[1][finite], vals[finite]
         count = max(1, int(round(fraction * vals.size)))
-        order = np.argsort(vals)[::-1][:count]
-        return {(int(rows[k]), int(cols[k])) for k in order}
+        if count >= vals.size:
+            selected = np.arange(vals.size)
+        else:
+            kth = vals.size - count
+            threshold = vals[np.argpartition(vals, kth)[kth]]
+            above = np.flatnonzero(vals > threshold)
+            boundary = np.flatnonzero(vals == threshold)
+            selected = np.concatenate([above, boundary[: count - above.size]])
+        return {(int(rows[k]), int(cols[k])) for k in selected}
 
     def severity_threshold(self, fraction: float) -> float:
         """Severity value separating the worst ``fraction`` of edges from the rest."""

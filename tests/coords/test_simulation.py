@@ -72,6 +72,45 @@ class TestVivaldiSimulation:
         assert summary["median"] >= 0
         assert summary["p90"] >= summary["median"]
 
+    def test_tracked_errors_match_system_predictions(self, small_internet_matrix):
+        """The vectorised trace gather equals per-pair predict calls."""
+        sim = VivaldiSimulation(small_internet_matrix, VivaldiConfig(n_neighbors=8), rng=5)
+        edges = [(0, 1), (2, 9), (4, 3)]
+        trace = sim.run(1, track_edges=edges)
+        for i, j in edges:
+            expected = sim.system.predict(i, j) - float(small_internet_matrix.values[i, j])
+            assert trace.edge_errors[(i, j)][-1] == pytest.approx(expected)
+
+    def test_oscillation_matches_predicted_matrix(self, small_internet_matrix):
+        """Edge-wise oscillation equals a replay using the full predicted matrix.
+
+        The trace records extrema via the predict_edges gather; a second,
+        identically seeded simulation recomputes them from predicted_matrix
+        every step, so any disagreement between the two prediction paths
+        (or a recording bug) shows up as a mismatch.
+        """
+        config = VivaldiConfig(n_neighbors=8)
+        steps = 5
+        sim = VivaldiSimulation(small_internet_matrix, config, rng=6)
+        trace = sim.run(steps, track_oscillation=True)
+
+        from repro.coords.vivaldi import VivaldiSystem
+
+        replay = VivaldiSystem(small_internet_matrix, config, rng=6)
+        rows, cols = small_internet_matrix.edge_index_pairs()
+        running_min = np.full(rows.size, np.inf)
+        running_max = np.full(rows.size, -np.inf)
+        for _ in range(steps):
+            replay.step()
+            values = replay.predicted_matrix()[rows, cols]
+            np.minimum(running_min, values, out=running_min)
+            np.maximum(running_max, values, out=running_max)
+
+        assert np.allclose(trace.oscillation_range, running_max - running_min)
+        assert np.allclose(
+            trace.edge_delays, small_internet_matrix.values[rows, cols]
+        )
+
     def test_invalid_run_length(self, small_internet_matrix):
         sim = VivaldiSimulation(small_internet_matrix, rng=0)
         with pytest.raises(EmbeddingError):

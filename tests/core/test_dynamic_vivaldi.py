@@ -89,3 +89,72 @@ class TestDynamicNeighborVivaldi:
         b = DynamicNeighborVivaldi(small_internet_matrix, _config(), rng=8).run(1)
         assert a[1].neighbor_lists == b[1].neighbor_lists
         assert np.allclose(a[1].predicted, b[1].predicted)
+
+    def test_kernel_passthrough(self, small_internet_matrix):
+        reference = DynamicNeighborVivaldi(
+            small_internet_matrix, _config(), rng=0, kernel="reference"
+        )
+        assert reference.system.kernel == "reference"
+        assert DynamicNeighborVivaldi(small_internet_matrix, _config(), rng=0).system.kernel == "batched"
+
+    def test_refinement_dedupes_duplicate_neighbors(self, small_internet_matrix):
+        """Externally-set duplicate entries never survive into refined lists."""
+        dynamic = DynamicNeighborVivaldi(
+            small_internet_matrix, _config(period=5, neighbors=4), rng=12
+        )
+        dynamic.run(0)
+        n = small_internet_matrix.n_nodes
+        duplicated = [[(i + 1) % n, (i + 1) % n, (i + 2) % n] for i in range(n)]
+        dynamic.system.set_neighbors(duplicated)
+        snapshots = dynamic.run(1)
+        for i, kept in enumerate(snapshots[-1].neighbor_lists):
+            assert len(set(kept)) == len(kept)
+            assert i not in kept
+
+    def test_refinement_keeps_largest_ratio_candidates(self, small_internet_matrix):
+        """The vectorised ranking keeps exactly the k largest-ratio pool edges."""
+        dynamic = DynamicNeighborVivaldi(
+            small_internet_matrix, _config(period=10, neighbors=6), rng=9
+        )
+        dynamic.run(0)
+        measured = small_internet_matrix.values
+        # Rank against the same coordinates the refinement sees (the
+        # snapshot's predicted matrix is re-converged *after* refinement,
+        # so it cannot be used for this check).
+        predicted = dynamic.system.predicted_matrix()
+        previous = dynamic.system.neighbors
+        refined = dynamic._refine_neighbors()
+
+        def ratio(i, j):
+            d = measured[i, j]
+            return predicted[i, j] / d if np.isfinite(d) and d > 0 else np.inf
+
+        for i, kept in enumerate(refined):
+            assert len(kept) == 6
+            assert i not in kept
+            assert len(set(kept)) == len(kept)
+            # Every survivor must outrank (or tie) every dropped member of
+            # the previous neighbour set, because the previous set was
+            # fully contained in the candidate pool.
+            dropped = [j for j in previous[i] if j not in kept]
+            if dropped and kept:
+                worst_kept = min(ratio(i, j) for j in kept)
+                best_dropped = max(ratio(i, j) for j in dropped)
+                assert worst_kept >= best_dropped - 1e-12
+
+    def test_refinement_handles_ragged_neighbor_lists(self, small_internet_matrix):
+        """External ragged lists take the per-row fallback path unchanged."""
+        dynamic = DynamicNeighborVivaldi(
+            small_internet_matrix, _config(period=5, neighbors=4), rng=10
+        )
+        dynamic.run(0)
+        n = small_internet_matrix.n_nodes
+        ragged = [
+            [(i + 1) % n] if i % 3 else [(i + 1) % n, (i + 2) % n]
+            for i in range(n)
+        ]
+        dynamic.system.set_neighbors(ragged)
+        snapshots = dynamic.run(1)
+        for i, kept in enumerate(snapshots[-1].neighbor_lists):
+            assert 1 <= len(kept) <= 4
+            assert i not in kept

@@ -42,6 +42,16 @@ class TestExperimentConfig:
             ExperimentConfig(vivaldi_seconds=0)
         with pytest.raises(ConfigError):
             ExperimentConfig(meridian_small_count=1)
+        with pytest.raises(ConfigError):
+            ExperimentConfig(vivaldi_kernel="turbo")
+
+    def test_vivaldi_kernel_threads_to_embedding(self):
+        """The configured kernel reaches the context's shared embedding."""
+        for kernel in ("batched", "reference"):
+            context = ExperimentContext(
+                ExperimentConfig(n_nodes=24, vivaldi_seconds=2, vivaldi_kernel=kernel)
+            )
+            assert context.vivaldi.kernel == kernel
 
 
 class TestExperimentContext:

@@ -1,0 +1,169 @@
+"""Tests for the repro.perf benchmark subsystem."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.perf.bench import SCHEMA, run_benchmarks, write_report
+from repro.perf.kernels import BenchmarkError, available_kernels, get_kernel
+
+#: Small enough that every kernel runs in milliseconds.
+TINY = 24
+
+
+class TestKernelRegistry:
+    def test_expected_kernels_registered(self):
+        names = available_kernels()
+        assert "vivaldi_step_batched" in names
+        assert "vivaldi_step_reference" in names
+        assert "tiv_severity" in names
+        assert "shortest_paths" in names
+        assert "scenario_generation" in names
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(BenchmarkError):
+            get_kernel("warp_drive")
+
+    @pytest.mark.parametrize("name", available_kernels())
+    def test_every_kernel_sets_up_and_runs(self, name):
+        run, work = get_kernel(name).setup(TINY, seed=0)
+        assert work > 0
+        run()  # must execute without error
+
+    def test_vivaldi_kernels_advance_the_simulation(self):
+        run, _ = get_kernel("vivaldi_step_batched").setup(TINY, seed=0)
+        movement = run()
+        assert isinstance(movement, np.ndarray)
+        assert movement.shape == (TINY,)
+
+
+class TestRunBenchmarks:
+    def test_report_structure(self):
+        report = run_benchmarks(
+            kernels=["vivaldi_step_batched", "tiv_severity"],
+            sizes=[TINY],
+            repeats=2,
+            warmup=0,
+        )
+        assert report.sizes == (TINY,)
+        assert len(report.timings) == 2
+        for row in report.timings:
+            assert row.best_seconds > 0
+            assert row.mean_seconds >= row.best_seconds
+            assert row.throughput > 0
+            assert row.repeats == 2
+
+    def test_timing_lookup(self):
+        report = run_benchmarks(
+            kernels=["vivaldi_step_batched"], sizes=[TINY], repeats=1, warmup=0
+        )
+        assert report.timing("vivaldi_step_batched", TINY) is not None
+        assert report.timing("vivaldi_step_batched", 999) is None
+        assert report.timing("tiv_severity", TINY) is None
+
+    def test_vivaldi_speedup_requires_both_kernels(self):
+        only_batched = run_benchmarks(
+            kernels=["vivaldi_step_batched"], sizes=[TINY], repeats=1, warmup=0
+        )
+        assert only_batched.vivaldi_speedups() == {}
+        both = run_benchmarks(
+            kernels=["vivaldi_step_batched", "vivaldi_step_reference"],
+            sizes=[TINY],
+            repeats=1,
+            warmup=0,
+        )
+        speedups = both.vivaldi_speedups()
+        assert set(speedups) == {str(TINY)}
+        assert speedups[str(TINY)] > 0
+
+    def test_as_dict_schema(self):
+        report = run_benchmarks(
+            kernels=["vivaldi_step_batched"], sizes=[TINY], repeats=1, warmup=0
+        )
+        payload = report.as_dict()
+        assert payload["schema"] == SCHEMA
+        assert payload["sizes"] == [TINY]
+        assert {"python", "numpy", "scipy", "machine"} <= set(payload["environment"])
+        assert payload["kernels"][0]["kernel"] == "vivaldi_step_batched"
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = run_benchmarks(
+            kernels=["vivaldi_step_batched"], sizes=[TINY], repeats=1, warmup=0
+        )
+        path = tmp_path / "BENCH_perf.json"
+        write_report(report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == SCHEMA
+        assert loaded["kernels"] == [row.as_dict() for row in report.timings]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BenchmarkError):
+            run_benchmarks(sizes=[])
+        with pytest.raises(BenchmarkError):
+            run_benchmarks(sizes=[4])
+        with pytest.raises(BenchmarkError):
+            run_benchmarks(sizes=[TINY], repeats=0)
+        with pytest.raises(BenchmarkError):
+            run_benchmarks(sizes=[TINY], warmup=-1)
+        with pytest.raises(BenchmarkError):
+            run_benchmarks(kernels=["nope"], sizes=[TINY])
+
+
+class TestBenchCli:
+    def _run(self, capsys, *argv):
+        from repro.cli import main
+
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured
+
+    def test_bench_emits_json(self, capsys):
+        code, captured = self._run(
+            capsys,
+            "bench",
+            "--sizes",
+            str(TINY),
+            "--kernels",
+            "vivaldi_step_batched",
+            "vivaldi_step_reference",
+            "--repeats",
+            "1",
+            "--warmup",
+            "0",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["schema"] == SCHEMA
+        assert str(TINY) in payload["vivaldi_speedup"]
+
+    def test_bench_writes_report_file(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        code, captured = self._run(
+            capsys,
+            "bench",
+            "--sizes",
+            str(TINY),
+            "--kernels",
+            "tiv_severity",
+            "--repeats",
+            "1",
+            "--warmup",
+            "0",
+            "--report",
+            str(path),
+        )
+        assert code == 0
+        assert "wrote bench report" in captured.err
+        loaded = json.loads(path.read_text())
+        assert loaded["kernels"][0]["kernel"] == "tiv_severity"
+
+    def test_bench_rejects_bad_sizes(self, capsys):
+        code, captured = self._run(capsys, "bench", "--sizes", "abc")
+        assert code == 1
+        assert "comma-separated integers" in captured.err
+
+    def test_bench_rejects_too_small_sizes(self, capsys):
+        code, captured = self._run(capsys, "bench", "--sizes", "4")
+        assert code == 1
+        assert "error:" in captured.err

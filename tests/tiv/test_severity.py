@@ -6,6 +6,7 @@ import pytest
 from repro.delayspace.matrix import DelayMatrix
 from repro.errors import DelayMatrixError
 from repro.tiv.severity import (
+    TIVSeverityResult,
     compute_tiv_severity,
     edge_tiv_severity,
     triangulation_ratios,
@@ -125,6 +126,60 @@ class TestWorstEdgesAndSummary:
             small_internet_severity.worst_edges(0.0)
         with pytest.raises(ValueError):
             small_internet_severity.severity_threshold(2.0)
+
+    def test_worst_edges_matches_full_sort(self, small_internet_severity):
+        """The O(E) argpartition selection equals the explicit full sort."""
+        result = small_internet_severity
+        for fraction in (0.05, 0.2, 0.5, 1.0):
+            worst = result.worst_edges(fraction)
+            iu = np.triu_indices(result.n_nodes, k=1)
+            vals = result.severity[iu]
+            finite = np.isfinite(vals)
+            rows, cols, vals = iu[0][finite], iu[1][finite], vals[finite]
+            count = max(1, int(round(fraction * vals.size)))
+            # Reference: sort by (-severity, index) — strictly-greater edges
+            # first, boundary ties in upper-triangle order.
+            order = np.lexsort((np.arange(vals.size), -vals))[:count]
+            expected = {(int(rows[k]), int(cols[k])) for k in order}
+            assert worst == expected
+
+    def test_worst_edges_tie_stability(self):
+        """Boundary ties resolve to the earliest edges in upper-triangle order."""
+        n = 5
+        severity = np.full((n, n), np.nan)
+        iu = np.triu_indices(n, k=1)
+        # Two clear winners, everything else tied at 1.0.
+        tied_value = 1.0
+        vals = np.full(iu[0].size, tied_value)
+        vals[3] = 9.0
+        vals[7] = 5.0
+        severity[iu] = vals
+        severity[(iu[1], iu[0])] = vals
+        result = TIVSeverityResult(
+            severity=severity,
+            violation_counts=np.zeros((n, n), dtype=np.int64),
+            n_nodes=n,
+        )
+        # 5 of 10 edges: the two distinct values plus the first three tied
+        # edges in upper-triangle order.
+        worst = result.worst_edges(0.5)
+        tied_edges = [
+            (int(iu[0][k]), int(iu[1][k]))
+            for k in range(iu[0].size)
+            if vals[k] == tied_value
+        ]
+        expected = {
+            (int(iu[0][3]), int(iu[1][3])),
+            (int(iu[0][7]), int(iu[1][7])),
+            *tied_edges[:3],
+        }
+        assert worst == expected
+        # Deterministic: repeated calls agree exactly.
+        assert result.worst_edges(0.5) == worst
+
+    def test_worst_edges_full_fraction_returns_all(self, small_internet_severity):
+        worst = small_internet_severity.worst_edges(1.0)
+        assert len(worst) == small_internet_severity.edge_severities().size
 
     def test_summary_keys(self, small_internet_severity):
         summary = small_internet_severity.summary()
