@@ -17,6 +17,8 @@ driven without writing Python::
         --report BENCH_scenarios.json             # figure suite x scenario matrix
     python -m repro bench --sizes 100,200 \
         --report BENCH_perf.json                  # time the hot kernels
+    python -m repro perf-gate --baseline BENCH_perf.json \
+        --current bench-new.json                  # CI perf-regression gate
 """
 
 from __future__ import annotations
@@ -217,6 +219,7 @@ def _cmd_run_scenarios(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_benchmarks, write_report
+    from repro.perf.kernels import resolve_kernel_names
 
     try:
         sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
@@ -224,8 +227,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: --sizes must be comma-separated integers, got {args.sizes!r}",
               file=sys.stderr)
         return 1
+    kernels = resolve_kernel_names(args.kernels) if args.kernels is not None else None
     report = run_benchmarks(
-        kernels=args.kernels,
+        kernels=kernels,
         sizes=sizes,
         repeats=args.repeats,
         warmup=args.warmup,
@@ -235,6 +239,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.report:
         write_report(report, args.report)
         print(f"wrote bench report to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro.perf.gate import (
+        compare_reports,
+        format_table,
+        load_report,
+        regressions,
+    )
+
+    rows = compare_reports(
+        load_report(args.baseline), load_report(args.current), threshold=args.threshold
+    )
+    table = format_table(rows, threshold=args.threshold)
+    print(table, end="")
+    if args.summary:
+        # Append (not truncate): $GITHUB_STEP_SUMMARY accumulates sections.
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(table)
+    failed = regressions(rows)
+    if failed:
+        details = ", ".join(f"{row.kernel}@{row.size} ({row.ratio:.2f}x)" for row in failed)
+        print(
+            f"error: {len(failed)} kernel timing(s) regressed more than "
+            f"{args.threshold:g}x against {args.baseline}: {details}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -366,10 +399,6 @@ def build_parser() -> argparse.ArgumentParser:
     add_sweep_arguments(run_scenarios, "BENCH_scenarios.json")
     run_scenarios.set_defaults(func=_cmd_run_scenarios)
 
-    # Only the light kernel registry: the timing harness itself is imported
-    # lazily when the command runs.
-    from repro.perf.kernels import available_kernels
-
     bench = sub.add_parser(
         "bench",
         help="time the library's hot kernels and write BENCH_perf.json",
@@ -382,9 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--kernels",
         nargs="+",
-        choices=available_kernels(),
         default=None,
-        help="subset of kernels to time (default: all)",
+        help="subset of kernels to time: kernel names, family names "
+        "(e.g. gnp_fit expands to its batched+reference pair) or "
+        "comma-separated lists of either (default: all kernels)",
     )
     bench.add_argument(
         "--repeats", type=int, default=3, help="timed calls per kernel/size (default: 3)"
@@ -397,6 +427,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default=None, help="write the JSON report (BENCH_perf.json) here"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    perf_gate = sub.add_parser(
+        "perf-gate",
+        help="compare a fresh bench report against the committed baseline "
+        "and fail on kernel-time regressions",
+    )
+    perf_gate.add_argument(
+        "--baseline",
+        default="BENCH_perf.json",
+        help="committed baseline report (default: BENCH_perf.json)",
+    )
+    perf_gate.add_argument(
+        "--current", required=True, help="freshly measured report to check"
+    )
+    perf_gate.add_argument(
+        "--threshold",
+        type=float,
+        default=2.5,
+        help="fail when a kernel's best time exceeds baseline x threshold "
+        "(default: 2.5, tolerant of noisy CI runners)",
+    )
+    perf_gate.add_argument(
+        "--summary",
+        default=None,
+        help="also append the Markdown comparison table to this file "
+        "(e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    perf_gate.set_defaults(func=_cmd_perf_gate)
 
     report = sub.add_parser(
         "report", help="run experiments and render a Markdown results report"

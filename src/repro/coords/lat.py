@@ -13,6 +13,22 @@ node ``x`` against a sample of measured nodes::
 
 The paper evaluates LAT as a §4.2 strawman (Fig. 16) and finds it improves
 aggregate accuracy a little but barely helps neighbour selection.
+
+Two fit kernels are available (see the ``kernel`` argument of
+:func:`fit_lat`):
+
+``"batched"`` (default)
+    Samples every node's measured set in one RNG call (a row-shuffled
+    shifted-index matrix, the same trick as Vivaldi's neighbour sampling)
+    and evaluates all adjustment terms as whole-array gathers over a padded
+    ``(n, k)`` sample-index matrix — no per-node, per-sample Python loop.
+``"reference"``
+    The original double loop, kept for equivalence testing and
+    benchmarking.
+
+Both kernels compute the same adjustment formula; with explicit ``samples``
+they agree to floating point, while default random sampling follows a
+different per-seed stream per kernel (one draw versus n draws).
 """
 
 from __future__ import annotations
@@ -26,6 +42,9 @@ from repro.coords.vivaldi import VivaldiSystem
 from repro.delayspace.matrix import DelayMatrix
 from repro.errors import EmbeddingError
 from repro.stats.rng import RngLike, ensure_rng
+
+#: Fit kernels accepted by :func:`fit_lat`.
+KERNELS = ("batched", "reference")
 
 
 class LATCoordinates(DelayPredictor):
@@ -69,12 +88,48 @@ class LATCoordinates(DelayPredictor):
         return predicted
 
 
+def _padded_samples(sample_lists: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Mirror ragged per-node sample lists into a padded index matrix.
+
+    Returns ``(pad, mask)`` where ``pad`` is ``(n, k_max)`` (pad slots hold
+    index 0 — they are masked out before any arithmetic) and ``mask`` marks
+    the real entries.
+    """
+    n = len(sample_lists)
+    lengths = np.fromiter((len(s) for s in sample_lists), np.int64, count=n)
+    width = int(lengths.max()) if n and lengths.max() > 0 else 1
+    pad = np.zeros((n, width), dtype=np.int64)
+    for i, sample in enumerate(sample_lists):
+        pad[i, : lengths[i]] = sample
+    mask = np.arange(width)[None, :] < lengths[:, None]
+    return pad, mask
+
+
+def _batched_adjustments(
+    measured: np.ndarray, coords: np.ndarray, pad: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Evaluate every node's adjustment term as whole-array gathers."""
+    n = measured.shape[0]
+    rows = np.arange(n)[:, None]
+    sampled_delay = measured[rows, pad]
+    valid = mask & np.isfinite(sampled_delay)
+
+    diffs = coords[:, None, :] - coords[pad]
+    predicted = np.sqrt(np.einsum("nkd,nkd->nk", diffs, diffs))
+    errors = np.where(valid, sampled_delay - predicted, 0.0)
+    counts = valid.sum(axis=1)
+    adjustments = np.zeros(n)
+    np.divide(errors.sum(axis=1), 2.0 * counts, out=adjustments, where=counts > 0)
+    return adjustments
+
+
 def fit_lat(
     vivaldi: VivaldiSystem,
     *,
     sample_size: Optional[int] = None,
     samples: Optional[Sequence[Sequence[int]]] = None,
     rng: RngLike = None,
+    kernel: str = "batched",
 ) -> LATCoordinates:
     """Compute localized adjustment terms for a converged Vivaldi embedding.
 
@@ -91,26 +146,47 @@ def fit_lat(
         Explicit per-node sample lists, overriding ``sample_size``.
     rng:
         Seed or generator used when sampling.
+    kernel:
+        ``"batched"`` (default) draws all samples in one RNG call and
+        evaluates the adjustment terms as padded whole-array gathers;
+        ``"reference"`` keeps the per-node double loop.  See the module
+        docstring.
     """
+    if kernel not in KERNELS:
+        raise EmbeddingError(f"unknown LAT kernel {kernel!r}; expected one of {KERNELS}")
     matrix: DelayMatrix = vivaldi.matrix
     coords = vivaldi.coordinates
     measured = matrix.values
     n = matrix.n_nodes
     gen = ensure_rng(rng)
 
-    if samples is not None:
-        if len(samples) != n:
-            raise EmbeddingError(f"expected {n} sample lists, got {len(samples)}")
-        sample_lists = [[int(j) for j in s] for s in samples]
-    else:
-        sample_lists = []
+    if samples is None:
         k = sample_size if sample_size is not None else vivaldi.config.n_neighbors
         k = min(k, n - 1)
         if k < 1:
             raise EmbeddingError("sample_size must be >= 1")
+
+    if samples is not None:
+        if len(samples) != n:
+            raise EmbeddingError(f"expected {n} sample lists, got {len(samples)}")
+        sample_lists = [[int(j) for j in s] for s in samples]
+        pad, mask = _padded_samples(sample_lists)
+    elif kernel == "batched":
+        # Row i holds 0..n-1 with i removed (values >= i shift up by one);
+        # one rng.permuted call shuffles every row independently and the
+        # first k columns are the node's sample — no per-node choice() loop.
+        candidates = np.tile(np.arange(n - 1, dtype=np.int64), (n, 1))
+        candidates += candidates >= np.arange(n, dtype=np.int64)[:, None]
+        pad = gen.permuted(candidates, axis=1)[:, :k]
+        mask = np.ones(pad.shape, dtype=bool)
+    else:
+        sample_lists = []
         for i in range(n):
             pool = np.delete(np.arange(n), i)
             sample_lists.append([int(j) for j in gen.choice(pool, size=k, replace=False)])
+
+    if kernel == "batched":
+        return LATCoordinates(coords, _batched_adjustments(measured, coords, pad, mask))
 
     adjustments = np.zeros(n)
     for i, sample in enumerate(sample_lists):

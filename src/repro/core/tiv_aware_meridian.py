@@ -133,13 +133,16 @@ def build_tiv_aware_overlay(
     rng: RngLike = None,
     full_membership: bool = False,
     membership_sample_size: Optional[int] = None,
+    kernel: str = "batched",
 ) -> tuple[MeridianOverlay, RestartPolicy]:
     """Construct a TIV-aware Meridian overlay and its restart policy.
 
     This is the convenience entry point used by the Fig. 24 / Fig. 25
     experiments: the overlay is built with the TIV-aware membership
     adjuster, and the matching restart policy is returned so callers can
-    pass it to every query.
+    pass it to every query.  ``kernel`` is forwarded to the overlay; note
+    the membership adjuster forces the per-member construction path either
+    way (queries still use the batched gathers).
     """
     if alert.matrix.n_nodes != matrix.n_nodes:
         raise MeridianError("alert was built for a different delay matrix size")
@@ -152,5 +155,6 @@ def build_tiv_aware_overlay(
         full_membership=full_membership,
         membership_sample_size=membership_sample_size,
         membership_adjuster=tiv_aware_membership_adjuster(alert, cfg),
+        kernel=kernel,
     )
     return overlay, tiv_aware_restart_policy(alert, cfg)

@@ -207,7 +207,7 @@ def _meridian_alert_comparison(
     alert = ctx.alert
 
     results: dict[str, dict[str, float]] = {}
-    overlay_kwargs = {"full_membership": full_membership}
+    overlay_kwargs = {"full_membership": full_membership, "kernel": cfg.coords_kernel}
 
     results["meridian_original"] = MeridianSelectionExperiment(
         ctx.matrix,

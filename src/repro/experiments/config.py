@@ -36,6 +36,15 @@ class ExperimentConfig:
         Gauss-Seidel loop kept for equivalence checks).  The kernels follow
         different per-seed streams, so the kernel is part of the
         embedding's cache address.
+    coords_kernel:
+        Fit kernel of every non-Vivaldi embedding and of the Meridian
+        overlay: ``"batched"`` (default, the vectorised GNP/IDES/LAT
+        solvers and whole-ring Meridian gathers) or ``"reference"`` (the
+        per-host/per-sample scalar loops kept for equivalence checks).
+        Like ``vivaldi_kernel`` it always joins the cache address of the
+        artefacts it determines (the IDES and LAT strawman embeddings), so
+        entries written before the kernel switch existed read as misses
+        rather than stale hits.
     candidate_fraction:
         Fraction of nodes used as selection candidates in the
         coordinate-driven experiments (paper: 200 / 4000 = 5 %).
@@ -70,6 +79,7 @@ class ExperimentConfig:
     seed: int = 0
     vivaldi_seconds: int = 100
     vivaldi_kernel: str = "batched"
+    coords_kernel: str = "batched"
     candidate_fraction: float = 0.05
     selection_runs: int = 3
     meridian_fraction: float = 0.5
@@ -91,6 +101,10 @@ class ExperimentConfig:
         if self.vivaldi_kernel not in ("batched", "reference"):
             raise ConfigError(
                 f"vivaldi_kernel must be 'batched' or 'reference', got {self.vivaldi_kernel!r}"
+            )
+        if self.coords_kernel not in ("batched", "reference"):
+            raise ConfigError(
+                f"coords_kernel must be 'batched' or 'reference', got {self.coords_kernel!r}"
             )
         if self.meridian_small_count < 2:
             raise ConfigError("meridian_small_count must be >= 2")

@@ -27,6 +27,8 @@ from typing import Optional
 import numpy as np
 
 from repro.core.alert import TIVAlert
+from repro.coords.ides import IDESConfig, IDESCoordinates, fit_ides
+from repro.coords.lat import LATCoordinates, fit_lat
 from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
 from repro.delayspace.clustering import ClusterAssignment, classify_major_clusters
 from repro.delayspace.matrix import DelayMatrix
@@ -86,6 +88,8 @@ class ExperimentContext:
         self._shortest_paths: Optional[np.ndarray] = None
         self._vivaldi: Optional[VivaldiSystem] = None
         self._alert: Optional[TIVAlert] = None
+        self._ides: Optional[IDESCoordinates] = None
+        self._lat: Optional[LATCoordinates] = None
 
     # -- cache plumbing --------------------------------------------------------
 
@@ -120,6 +124,31 @@ class ExperimentContext:
         }
         if self.scenario is not None and not self.scenario.is_noop:
             params["scenario"] = self.scenario.cache_params()
+        return params
+
+    def _ides_params(self) -> dict:
+        """Parameters that fully determine the IDES strawman embedding.
+
+        IDES never touches the Vivaldi embedding, so its address is the
+        dataset address plus the coords kernel (the batched and reference
+        fits solve the same systems, but only entries written by the same
+        kernel are guaranteed bit-identical — like ``vivaldi_kernel``, the
+        kernel always joins the address so pre-switch entries miss).
+        """
+        params = self._matrix_params(self.config.dataset, self.config.n_nodes)
+        params["kernel"] = self.config.coords_kernel
+        return params
+
+    def _lat_params(self) -> dict:
+        """Parameters that fully determine the LAT strawman embedding.
+
+        LAT adjusts the converged Vivaldi coordinates, so everything that
+        addresses the embedding addresses LAT too; the coords kernel joins
+        on top because the two LAT kernels follow different per-seed
+        sampling streams.
+        """
+        params = self._embedding_params()
+        params["coords_kernel"] = self.config.coords_kernel
         return params
 
     def _restore_cached(self, kind: str, params: dict, restore):
@@ -361,6 +390,73 @@ class ExperimentContext:
                 {"ratios": alert.ratio_matrix, "predicted": alert.predicted_matrix},
             )
         return alert
+
+    @property
+    def ides(self) -> IDESCoordinates:
+        """The Fig. 15 IDES strawman embedding (landmark count scales with n).
+
+        The landmark budget is 0.5 % of the nodes (at least 6), matching a
+        real IDES deployment's ~20 landmarks for a few thousand hosts.
+        """
+        if self._ides is not None:
+            return self._ides
+        params = self._ides_params()
+        restored = self._restore_cached(
+            "ides",
+            params,
+            lambda entry: IDESCoordinates(
+                entry.arrays["outgoing"],
+                entry.arrays["incoming"],
+                landmarks=[int(i) for i in entry.meta["landmarks"]],
+            ),
+        )
+        if restored is not None:
+            self._ides = restored
+            return restored
+        n_landmarks = max(6, round(0.005 * self.matrix.n_nodes))
+        ides = fit_ides(
+            self.matrix,
+            IDESConfig(method="svd", n_landmarks=n_landmarks),
+            rng=self.config.seed,
+            kernel=self.config.coords_kernel,
+        )
+        self._ides = ides
+        if self.cache is not None:
+            self.cache.store(
+                "ides",
+                params,
+                {"outgoing": ides.outgoing, "incoming": ides.incoming},
+                meta={"landmarks": list(ides.landmarks)},
+            )
+        return ides
+
+    @property
+    def lat(self) -> LATCoordinates:
+        """The Fig. 16 Vivaldi+LAT strawman embedding."""
+        if self._lat is not None:
+            return self._lat
+        params = self._lat_params()
+        restored = self._restore_cached(
+            "lat",
+            params,
+            lambda entry: LATCoordinates(
+                entry.arrays["coordinates"], entry.arrays["adjustments"]
+            ),
+        )
+        if restored is not None:
+            self._lat = restored
+            return restored
+        lat = fit_lat(
+            self.vivaldi, rng=self.config.seed, kernel=self.config.coords_kernel
+        )
+        self._lat = lat
+        if self.cache is not None:
+            self.cache.store(
+                "lat",
+                params,
+                {"coordinates": lat.coordinates, "adjustments": lat.adjustments},
+            )
+        return lat
 
     # -- harness helpers -------------------------------------------------------
 

@@ -56,7 +56,18 @@ REPORT_SCHEMA = "bench-experiments/v1"
 #: missing from this map warms everything — the safe default for future
 #: runners.
 _ALL_ARTIFACTS = frozenset(
-    {"matrix", "clusters", "severity", "shortest", "vivaldi", "alert", "datasets", "euclidean"}
+    {
+        "matrix",
+        "clusters",
+        "severity",
+        "shortest",
+        "vivaldi",
+        "alert",
+        "ides",
+        "lat",
+        "datasets",
+        "euclidean",
+    }
 )
 _ARTIFACT_NEEDS: dict[str, frozenset[str]] = {
     "fig02": frozenset({"datasets"}),
@@ -69,8 +80,8 @@ _ARTIFACT_NEEDS: dict[str, frozenset[str]] = {
     "text_3_2_1": frozenset({"matrix", "vivaldi"}),
     "fig13": frozenset({"matrix"}),
     "fig14": frozenset({"matrix", "euclidean"}),
-    "fig15": frozenset({"matrix", "vivaldi"}),
-    "fig16": frozenset({"matrix", "vivaldi"}),
+    "fig15": frozenset({"matrix", "vivaldi", "ides"}),
+    "fig16": frozenset({"matrix", "vivaldi", "lat"}),
     "fig17": frozenset({"matrix", "severity", "vivaldi"}),
     "fig18": frozenset({"matrix", "severity"}),
     "fig19": frozenset({"matrix", "severity", "vivaldi", "alert"}),
@@ -325,6 +336,10 @@ class ExperimentEngine:
         entries += [
             (kind, probe._embedding_params()) for kind in ("vivaldi", "alert") if kind in needs
         ]
+        if "ides" in needs:
+            entries.append(("ides", probe._ides_params()))
+        if "lat" in needs:
+            entries.append(("lat", probe._lat_params()))
         if "datasets" in needs:
             sizes = dataset_sizes(cfg)
             for name, preset in DATASET_PRESETS.items():
@@ -372,6 +387,10 @@ class ExperimentEngine:
             _ = context.vivaldi
         if "alert" in needs:
             _ = context.alert
+        if "ides" in needs:
+            _ = context.ides
+        if "lat" in needs:
+            _ = context.lat
         if "datasets" in needs:
             # The multi-dataset figures (2, 4-7, 9) sweep scaled variants
             # of all four measured data sets.

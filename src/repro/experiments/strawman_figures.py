@@ -9,8 +9,6 @@
 
 from __future__ import annotations
 
-from repro.coords.ides import IDESConfig, fit_ides
-from repro.coords.lat import fit_lat
 from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
@@ -27,18 +25,14 @@ def fig15_ides(
 
     The landmark count scales with the matrix (0.5 % of nodes, at least 6),
     which reproduces the measurement budget of a real IDES deployment
-    (~20 landmarks for a few thousand hosts).
+    (~20 landmarks for a few thousand hosts).  The embedding itself is a
+    shared context artefact (fitted with ``config.coords_kernel``, cached
+    on disk when the context has a cache).
     """
     ctx = ExperimentContext.resolve(config, context)
     experiment = ctx.selection_experiment()
     vivaldi_result = experiment.run(ctx.vivaldi)
-    n_landmarks = max(6, round(0.005 * ctx.matrix.n_nodes))
-    ides = fit_ides(
-        ctx.matrix,
-        IDESConfig(method="svd", n_landmarks=n_landmarks),
-        rng=ctx.config.seed,
-    )
-    ides_result = experiment.run(ides)
+    ides_result = experiment.run(ctx.ides)
     return ExperimentResult(
         experiment_id="fig15",
         title="Neighbour selection performance of IDES",
@@ -60,8 +54,7 @@ def fig16_lat(
     ctx = ExperimentContext.resolve(config, context)
     experiment = ctx.selection_experiment()
     vivaldi_result = experiment.run(ctx.vivaldi)
-    lat = fit_lat(ctx.vivaldi, rng=ctx.config.seed)
-    lat_result = experiment.run(lat)
+    lat_result = experiment.run(ctx.lat)
     return ExperimentResult(
         experiment_id="fig16",
         title="Neighbour selection performance of Vivaldi with LAT",
@@ -137,6 +130,7 @@ def fig18_meridian_filter(
         n_runs=cfg.selection_runs,
         max_clients=cfg.max_clients,
         rng=cfg.seed + 7,
+        overlay_kwargs={"kernel": cfg.coords_kernel},
     ).run()
     filtered = MeridianSelectionExperiment(
         ctx.matrix,
@@ -145,7 +139,7 @@ def fig18_meridian_filter(
         n_runs=cfg.selection_runs,
         max_clients=cfg.max_clients,
         rng=cfg.seed + 7,
-        overlay_kwargs={"excluded_edges": excluded},
+        overlay_kwargs={"excluded_edges": excluded, "kernel": cfg.coords_kernel},
     ).run()
     return ExperimentResult(
         experiment_id="fig18",

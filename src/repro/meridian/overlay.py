@@ -114,7 +114,19 @@ class MeridianOverlay:
         ring membership — the §4.3 severity-filter strawman.
     membership_adjuster:
         Optional TIV-aware double-placement hook (§5.3 ring construction).
+    kernel:
+        ``"batched"`` (default) fills every node's rings with whole-array
+        ring assignment (:meth:`repro.meridian.rings.RingSet.bulk_add`) and
+        answers queries with whole-ring delay gathers plus a vectorised
+        ground-truth search; ``"reference"`` keeps the per-member Python
+        loops.  Both kernels consume the RNG identically and produce
+        identical rings and query results — the switch only trades loop
+        shape for array operations.  A ``membership_adjuster`` always takes
+        the per-member construction path (double placement is inherently
+        per-edge); queries still use the batched gathers.
     """
+
+    KERNELS = ("batched", "reference")
 
     def __init__(
         self,
@@ -127,11 +139,17 @@ class MeridianOverlay:
         membership_sample_size: Optional[int] = None,
         excluded_edges: Optional[Iterable[tuple[int, int]]] = None,
         membership_adjuster: MembershipAdjuster | None = None,
+        kernel: str = "batched",
     ):
+        if kernel not in self.KERNELS:
+            raise MeridianError(
+                f"unknown Meridian kernel {kernel!r}; expected one of {self.KERNELS}"
+            )
         self._matrix = matrix
         self._delays = matrix.values
         self._config = config if config is not None else MeridianConfig()
         self._rng = ensure_rng(rng)
+        self._kernel = kernel
 
         ids = [int(i) for i in meridian_nodes]
         if len(ids) < 2:
@@ -143,6 +161,7 @@ class MeridianOverlay:
                 raise MeridianError(f"meridian node {i} is not in the delay matrix")
         self._meridian_ids = ids
         self._meridian_set = set(ids)
+        self._meridian_arr = np.asarray(ids, dtype=np.int64)
 
         self._excluded: set[frozenset[int]] = set()
         if excluded_edges:
@@ -168,6 +187,7 @@ class MeridianOverlay:
         config = self._config
         if sample_size is None:
             sample_size = config.k * config.n_rings
+        batched = self._kernel == "batched" and adjuster is None
         for node_id in self._meridian_ids:
             node = MeridianNode(node_id, config)
             others = [m for m in self._meridian_ids if m != node_id]
@@ -176,10 +196,24 @@ class MeridianOverlay:
             else:
                 chosen = self._rng.choice(len(others), size=sample_size, replace=False)
                 candidates = [others[int(c)] for c in chosen]
-            for member in candidates:
-                if not self._usable(node_id, member):
-                    continue
-                node.add_member(member, float(self._delays[node_id, member]), adjuster=adjuster)
+            if batched:
+                cand = np.asarray(candidates, dtype=np.int64)
+                usable = np.isfinite(self._delays[node_id, cand])
+                if self._excluded:
+                    usable &= np.fromiter(
+                        (frozenset((node_id, m)) not in self._excluded for m in candidates),
+                        dtype=bool,
+                        count=cand.size,
+                    )
+                cand = cand[usable]
+                node.rings.bulk_add(cand, self._delays[node_id, cand].astype(float))
+            else:
+                for member in candidates:
+                    if not self._usable(node_id, member):
+                        continue
+                    node.add_member(
+                        member, float(self._delays[node_id, member]), adjuster=adjuster
+                    )
             self._nodes[node_id] = node
 
     # -- accessors ------------------------------------------------------------
@@ -193,6 +227,11 @@ class MeridianOverlay:
     def config(self) -> MeridianConfig:
         """The overlay's configuration."""
         return self._config
+
+    @property
+    def kernel(self) -> str:
+        """The query/build kernel in use (``"batched"`` or ``"reference"``)."""
+        return self._kernel
 
     @property
     def meridian_ids(self) -> list[int]:
@@ -212,6 +251,17 @@ class MeridianOverlay:
 
     def true_closest(self, target: int) -> tuple[int, float]:
         """Ground-truth closest Meridian node to ``target`` and its delay."""
+        if self._kernel == "batched":
+            # One gather over the whole Meridian column; argmin keeps the
+            # first minimum, matching the scalar loop's tie-breaking.
+            delays = self._delays[self._meridian_arr, target]
+            valid = (self._meridian_arr != target) & np.isfinite(delays)
+            if not valid.any():
+                raise MeridianError(
+                    f"no Meridian node has a measured delay to target {target}"
+                )
+            position = int(np.argmin(np.where(valid, delays, np.inf)))
+            return int(self._meridian_arr[position]), float(delays[position])
         best_node, best_delay = -1, np.inf
         for node_id in self._meridian_ids:
             if node_id == target:
@@ -228,6 +278,43 @@ class MeridianOverlay:
     def _measured(self, a: int, b: int) -> float:
         d = self._delays[a, b]
         return float(d) if np.isfinite(d) else np.inf
+
+    def _gather_candidate_delays(
+        self, members: Sequence[int], target: int, probed_delay: dict[int, float]
+    ) -> tuple[dict[int, float], int]:
+        """Delays of ``members`` to ``target`` in member order.
+
+        Already-probed members reuse their cached delay; the target itself
+        (it may be a ring member of the hop) is reported at 0.0 without a
+        probe, being trivially its own closest node.  New members are
+        measured — as one whole-ring array gather under the batched kernel,
+        one scalar lookup each under the reference kernel — recorded in
+        ``probed_delay``, and counted: the second return value is the number
+        of on-demand probes this call performed.
+
+        The returned mapping preserves ``members`` order, so ``min`` over it
+        breaks ties identically under both kernels.
+        """
+        delays: dict[int, float] = {}
+        new: list[int] = []
+        for member in members:
+            if member == target:
+                delays[member] = 0.0
+            elif member in probed_delay:
+                delays[member] = probed_delay[member]
+            else:
+                delays[member] = np.inf  # placeholder, overwritten below
+                new.append(member)
+        if new:
+            if self._kernel == "batched":
+                measured = self._delays[np.asarray(new, dtype=np.int64), target]
+                values = np.where(np.isfinite(measured), measured, np.inf).tolist()
+            else:
+                values = [self._measured(member, target) for member in new]
+            for member, value in zip(new, values):
+                probed_delay[member] = value
+                delays[member] = value
+        return delays, len(new)
 
     def closest_neighbor_query(
         self,
@@ -275,20 +362,10 @@ class MeridianOverlay:
         for _ in range(max_hops):
             node = self._nodes[current]
             candidates = node.eligible_members(current_delay)
-            candidate_delays: dict[int, float] = {}
-            for member in candidates:
-                if member == target:
-                    # The target itself may be a Meridian ring member; its
-                    # delay to itself is zero and it is trivially closest.
-                    candidate_delays[member] = 0.0
-                    continue
-                if member in probed_delay:
-                    candidate_delays[member] = probed_delay[member]
-                    continue
-                d = self._measured(member, target)
-                probes += 1
-                probed_delay[member] = d
-                candidate_delays[member] = d
+            candidate_delays, new_probes = self._gather_candidate_delays(
+                candidates, target, probed_delay
+            )
+            probes += new_probes
 
             next_node: Optional[int] = None
             if candidate_delays:
@@ -307,17 +384,12 @@ class MeridianOverlay:
                 alternates = restart_policy(self, current, target, current_delay)
                 if alternates:
                     restarted = True
-                    alt_delays: dict[int, float] = {}
-                    for member in alternates:
-                        if member == current or member == target:
-                            continue
-                        if member in probed_delay:
-                            alt_delays[member] = probed_delay[member]
-                            continue
-                        d = self._measured(member, target)
-                        probes += 1
-                        probed_delay[member] = d
-                        alt_delays[member] = d
+                    alt_delays, new_probes = self._gather_candidate_delays(
+                        [m for m in alternates if m != current and m != target],
+                        target,
+                        probed_delay,
+                    )
+                    probes += new_probes
                     if alt_delays:
                         closest_member = min(alt_delays, key=alt_delays.get)
                         closest_delay = alt_delays[closest_member]

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import MeridianError
 
 
@@ -75,6 +77,24 @@ def ring_index(delay: float, config: MeridianConfig) -> int:
         return 0
     index = int(math.floor(math.log(delay / config.alpha, config.s))) + 1
     return min(max(index, 0), config.n_rings - 1)
+
+
+def ring_indices(delays: np.ndarray, config: MeridianConfig) -> np.ndarray:
+    """Vectorised :func:`ring_index`: 0-based ring of every delay at once.
+
+    Evaluates the same ``floor(log(d / alpha, s)) + 1`` expression as the
+    scalar helper (``math.log(x, base)`` is ``log(x) / log(base)``, which is
+    exactly what numpy computes), so both agree on every boundary delay.
+    """
+    d = np.asarray(delays, dtype=float)
+    if d.size and float(d.min()) < 0:
+        raise MeridianError(f"delay must be non-negative, got {float(d.min())}")
+    indices = np.zeros(d.shape, dtype=np.int64)
+    above = d > config.alpha
+    if above.any():
+        logs = np.log(d[above] / config.alpha) / math.log(config.s)
+        indices[above] = np.floor(logs).astype(np.int64) + 1
+    return np.clip(indices, 0, config.n_rings - 1)
 
 
 def ring_bounds(index: int, config: MeridianConfig) -> tuple[float, float]:
@@ -164,6 +184,54 @@ class RingSet:
         if placed:
             self._delays[member] = delay
         return placed
+
+    def bulk_add(self, members: np.ndarray, delays: np.ndarray) -> int:
+        """Add many fresh members at once (the batched overlay-build path).
+
+        Equivalent to calling :meth:`add` for each ``(member, delay)`` pair
+        in order (without double placement): members fall into their ring by
+        delay, each ring keeps its first arrivals up to the remaining
+        capacity, and members whose ring is full are dropped entirely.  The
+        ring assignment, the per-ring cut-off and the insertion order are
+        computed as whole-array operations.
+
+        ``members`` must be distinct and not already stored — the overlay
+        build guarantees this; violations raise so the equivalence with the
+        sequential path can never silently drift.
+
+        Returns the number of members stored.
+        """
+        member_arr = np.asarray(members, dtype=np.int64)
+        delay_arr = np.asarray(delays, dtype=float)
+        if member_arr.shape != delay_arr.shape or member_arr.ndim != 1:
+            raise MeridianError("members and delays must be matching 1-D arrays")
+        if member_arr.size == 0:
+            return 0
+        if delay_arr.min() < 0 or not np.all(np.isfinite(delay_arr)):
+            raise MeridianError("invalid member delay in bulk add")
+        if np.unique(member_arr).size != member_arr.size:
+            raise MeridianError("bulk add requires distinct members")
+        if self._delays and any(int(m) in self._delays for m in member_arr):
+            raise MeridianError("bulk add cannot re-add stored members")
+
+        indices = ring_indices(delay_arr, self._config)
+        capacity = np.array(
+            [self._config.k - len(ring) for ring in self._rings], dtype=np.int64
+        )
+        # Stable sort by ring: each member's rank within its ring equals its
+        # sorted position minus the start of the ring's block, i.e. exactly
+        # how many earlier members claimed a slot in the same ring.
+        order = np.argsort(indices, kind="stable")
+        sorted_rings = indices[order]
+        block_starts = np.searchsorted(sorted_rings, sorted_rings, side="left")
+        rank = np.arange(order.size) - block_starts
+        kept = order[rank < capacity[sorted_rings]]
+        for position in np.sort(kept):
+            member = int(member_arr[position])
+            delay = float(delay_arr[position])
+            self._rings[int(indices[position])][member] = delay
+            self._delays[member] = delay
+        return int(kept.size)
 
     def member_delay(self, member: int) -> float:
         """Measured delay to ``member``."""

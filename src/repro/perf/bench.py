@@ -71,20 +71,35 @@ class BenchReport:
                 return row
         return None
 
+    def speedups(self) -> dict[str, dict[str, float]]:
+        """Batched-over-reference speedup per kernel family and size.
+
+        A family's speedup at a size is only reported when both variants
+        were measured there.  Sizes are keyed as strings (JSON object keys
+        are strings; using them directly keeps the report round-trippable).
+        """
+        from repro.perf.kernels import kernel_families
+
+        result: dict[str, dict[str, float]] = {}
+        for family, (batched_name, reference_name) in sorted(kernel_families().items()):
+            per_size: dict[str, float] = {}
+            for size in self.sizes:
+                batched = self.timing(batched_name, size)
+                reference = self.timing(reference_name, size)
+                if batched is None or reference is None or batched.best_seconds <= 0:
+                    continue
+                per_size[str(size)] = reference.best_seconds / batched.best_seconds
+            if per_size:
+                result[family] = per_size
+        return result
+
     def vivaldi_speedups(self) -> dict[str, float]:
         """Batched-over-reference Vivaldi speedup per measured size.
 
-        Keyed by the size as a string (JSON object keys are strings; using
-        them directly keeps the report round-trippable).
+        The ``vivaldi_step`` entry of :meth:`speedups`, kept as a dedicated
+        accessor (and report key) for the original bench-smoke contract.
         """
-        speedups: dict[str, float] = {}
-        for size in self.sizes:
-            batched = self.timing("vivaldi_step_batched", size)
-            reference = self.timing("vivaldi_step_reference", size)
-            if batched is None or reference is None or batched.best_seconds <= 0:
-                continue
-            speedups[str(size)] = reference.best_seconds / batched.best_seconds
-        return speedups
+        return self.speedups().get("vivaldi_step", {})
 
     def as_dict(self) -> dict:
         import numpy
@@ -102,6 +117,7 @@ class BenchReport:
             "repeats": self.repeats,
             "seed": self.seed,
             "kernels": [row.as_dict() for row in self.timings],
+            "speedups": self.speedups(),
             "vivaldi_speedup": self.vivaldi_speedups(),
         }
 

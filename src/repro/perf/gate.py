@@ -1,0 +1,132 @@
+"""The CI perf-regression gate behind ``repro perf-gate``.
+
+The repository commits its performance trajectory as ``BENCH_perf.json``.
+The gate re-times the kernels on the PR's code (``repro bench``) and
+compares every ``(kernel, size)`` pair against the committed baseline: a
+best-of-N time more than ``threshold`` times slower fails the gate.  The
+threshold is deliberately tolerant (default 2.5x) because CI runners are
+noisy shared machines — the gate exists to catch *algorithmic* regressions
+(a batched kernel silently degrading to its scalar shape), not few-percent
+jitter.
+
+Pairs present in only one report never fail: a new kernel has no baseline
+yet (``new``) and a baseline measured at extra sizes is not re-run by the
+smoke bench (``missing``).  Both appear in the comparison table so the gap
+is visible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.bench import SCHEMA
+from repro.perf.kernels import BenchmarkError
+
+#: Default regression threshold (current/baseline best time) for CI.
+DEFAULT_THRESHOLD = 2.5
+
+
+@dataclass(frozen=True)
+class GateRow:
+    """Comparison of one ``(kernel, size)`` pair across the two reports."""
+
+    kernel: str
+    size: int
+    baseline_best: Optional[float]
+    current_best: Optional[float]
+    #: ``current_best / baseline_best`` when both sides were measured.
+    ratio: Optional[float]
+    #: ``ok`` | ``regression`` | ``new`` (no baseline) | ``missing`` (not re-run).
+    status: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regression"
+
+
+def load_report(path: str) -> dict:
+    """Load and schema-check one bench report."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise BenchmarkError(f"bench report {path!r} does not exist") from None
+    except json.JSONDecodeError as exc:
+        raise BenchmarkError(f"bench report {path!r} is not valid JSON: {exc}") from None
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise BenchmarkError(
+            f"bench report {path!r} has schema {schema!r}, expected {SCHEMA!r}"
+        )
+    return payload
+
+
+def _best_times(report: dict) -> dict[tuple[str, int], float]:
+    times: dict[tuple[str, int], float] = {}
+    for row in report.get("kernels", []):
+        times[(str(row["kernel"]), int(row["size"]))] = float(row["best_seconds"])
+    return times
+
+
+def compare_reports(
+    baseline: dict, current: dict, *, threshold: float = DEFAULT_THRESHOLD
+) -> list[GateRow]:
+    """Compare two bench reports pair by pair.
+
+    Rows are ordered kernel-then-size, with every pair of either report
+    represented exactly once.
+    """
+    if threshold <= 1.0:
+        raise BenchmarkError(f"threshold must be > 1, got {threshold}")
+    baseline_times = _best_times(baseline)
+    current_times = _best_times(current)
+    rows: list[GateRow] = []
+    for key in sorted(set(baseline_times) | set(current_times)):
+        kernel, size = key
+        base = baseline_times.get(key)
+        cur = current_times.get(key)
+        if base is None:
+            rows.append(GateRow(kernel, size, None, cur, None, "new"))
+        elif cur is None:
+            rows.append(GateRow(kernel, size, base, None, None, "missing"))
+        else:
+            ratio = cur / base if base > 0 else float("inf") if cur > 0 else 1.0
+            status = "regression" if ratio > threshold else "ok"
+            rows.append(GateRow(kernel, size, base, cur, ratio, status))
+    if not rows:
+        raise BenchmarkError("neither report contains any kernel timings")
+    return rows
+
+
+def regressions(rows: list[GateRow]) -> list[GateRow]:
+    """The rows that fail the gate."""
+    return [row for row in rows if row.failed]
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    return f"{value * 1000:.2f} ms" if value is not None else "—"
+
+
+def format_table(rows: list[GateRow], *, threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Render the comparison as a Markdown table (CI job-summary friendly)."""
+    failed = regressions(rows)
+    verdict = (
+        f"❌ {len(failed)} kernel timing(s) regressed more than {threshold:g}x"
+        if failed
+        else f"✅ no kernel regressed more than {threshold:g}x"
+    )
+    lines = [
+        f"### Perf gate: {verdict}",
+        "",
+        "| kernel | size | baseline best | current best | ratio | status |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        ratio = f"{row.ratio:.2f}x" if row.ratio is not None else "—"
+        lines.append(
+            f"| {row.kernel} | {row.size} | {_fmt_seconds(row.baseline_best)} "
+            f"| {_fmt_seconds(row.current_best)} | {ratio} | {row.status} |"
+        )
+    return "\n".join(lines) + "\n"

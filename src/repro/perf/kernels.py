@@ -14,7 +14,7 @@ harness and the CI smoke job.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ReproError
 
@@ -70,6 +70,69 @@ def _setup_vivaldi_step(kernel: str):
     return setup
 
 
+def _setup_gnp_fit(kernel: str):
+    def setup(size: int, seed: int) -> tuple[PreparedKernel, float]:
+        from repro.coords.gnp import GNPConfig, fit_gnp
+
+        matrix = _dataset(size, seed)
+        # A reduced iteration budget keeps the reference simplex loop inside
+        # smoke-test territory; both kernels run the same configuration so
+        # the speedup stays an apples-to-apples comparison.
+        config = GNPConfig(max_iterations=40)
+        return (lambda: fit_gnp(matrix, config, rng=seed + 1, kernel=kernel)), float(size)
+
+    return setup
+
+
+def _setup_ides_fit(kernel: str):
+    def setup(size: int, seed: int) -> tuple[PreparedKernel, float]:
+        from repro.coords.ides import IDESConfig, fit_ides
+
+        matrix = _dataset(size, seed)
+        # SVD factorisation: the landmark fit is a single shared solve, so
+        # the timing isolates the host-projection stage the kernels differ
+        # in (the NMF iterations would be identical cost on both sides).
+        config = IDESConfig(method="svd")
+        return (lambda: fit_ides(matrix, config, rng=seed + 1, kernel=kernel)), float(size)
+
+    return setup
+
+
+def _setup_lat_adjust(kernel: str):
+    def setup(size: int, seed: int) -> tuple[PreparedKernel, float]:
+        from repro.coords.lat import fit_lat
+        from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+
+        system = VivaldiSystem(_dataset(size, seed), VivaldiConfig(), rng=seed + 1)
+        system.run(5)  # a lightly shaken embedding; convergence is irrelevant to timing
+        return (lambda: fit_lat(system, rng=seed + 2, kernel=kernel)), float(size)
+
+    return setup
+
+
+def _setup_meridian_query(kernel: str):
+    def setup(size: int, seed: int) -> tuple[PreparedKernel, float]:
+        from repro.meridian.overlay import MeridianOverlay
+
+        matrix = _dataset(size, seed)
+        meridian_ids = list(range(0, size, 2))
+        overlay = MeridianOverlay(matrix, meridian_ids, rng=seed + 1, kernel=kernel)
+        targets = [node for node in range(size) if node % 2]
+
+        def run() -> int:
+            # Deterministic start nodes: successive timed calls must not
+            # drain the overlay RNG differently per kernel.
+            for target in targets:
+                overlay.closest_neighbor_query(
+                    target, start_node=meridian_ids[target % len(meridian_ids)]
+                )
+            return len(targets)
+
+        return run, float(len(targets))
+
+    return setup
+
+
 def _setup_tiv_severity(size: int, seed: int) -> tuple[PreparedKernel, float]:
     from repro.tiv.severity import compute_tiv_severity
 
@@ -110,6 +173,54 @@ _KERNELS: dict[str, KernelSpec] = {
             _setup_vivaldi_step("reference"),
         ),
         KernelSpec(
+            "gnp_fit_batched",
+            "full GNP fit with the vectorised majorization (SMACOF) kernel",
+            "hosts/s",
+            _setup_gnp_fit("batched"),
+        ),
+        KernelSpec(
+            "gnp_fit_reference",
+            "full GNP fit with the per-host Nelder-Mead reference kernel",
+            "hosts/s",
+            _setup_gnp_fit("reference"),
+        ),
+        KernelSpec(
+            "ides_fit_batched",
+            "full IDES fit with one-shot multi-RHS host projection",
+            "hosts/s",
+            _setup_ides_fit("batched"),
+        ),
+        KernelSpec(
+            "ides_fit_reference",
+            "full IDES fit with the per-host least-squares loop",
+            "hosts/s",
+            _setup_ides_fit("reference"),
+        ),
+        KernelSpec(
+            "lat_adjust_batched",
+            "LAT adjustment fit over padded whole-array sample gathers",
+            "nodes/s",
+            _setup_lat_adjust("batched"),
+        ),
+        KernelSpec(
+            "lat_adjust_reference",
+            "LAT adjustment fit with the per-node/per-sample double loop",
+            "nodes/s",
+            _setup_lat_adjust("reference"),
+        ),
+        KernelSpec(
+            "meridian_query_batched",
+            "closest-node queries over whole-ring delay gathers",
+            "queries/s",
+            _setup_meridian_query("batched"),
+        ),
+        KernelSpec(
+            "meridian_query_reference",
+            "closest-node queries with per-member probe loops",
+            "queries/s",
+            _setup_meridian_query("reference"),
+        ),
+        KernelSpec(
             "tiv_severity",
             "full-matrix TIV severity (O(N^3), vectorised per source row)",
             "edges/s",
@@ -134,6 +245,51 @@ _KERNELS: dict[str, KernelSpec] = {
 def available_kernels() -> tuple[str, ...]:
     """Names of all registered benchmark kernels."""
     return tuple(_KERNELS)
+
+
+def kernel_families() -> dict[str, tuple[str, str]]:
+    """Kernels that come as a batched/reference pair, keyed by family name.
+
+    A family is the shared prefix of a ``<family>_batched`` /
+    ``<family>_reference`` kernel pair (e.g. ``"gnp_fit"``).  The bench
+    report computes one speedup per family, and ``repro bench --kernels``
+    accepts family names as shorthand for timing both variants.
+    """
+    families: dict[str, tuple[str, str]] = {}
+    for name in _KERNELS:
+        if name.endswith("_batched"):
+            family = name[: -len("_batched")]
+            reference = f"{family}_reference"
+            if reference in _KERNELS:
+                families[family] = (name, reference)
+    return families
+
+
+def resolve_kernel_names(tokens: Sequence[str]) -> tuple[str, ...]:
+    """Expand CLI kernel tokens into registered kernel names (deduplicated).
+
+    Each token may be a kernel name, a family name (expanding to its
+    batched and reference variants) or a comma-separated list of either —
+    so ``--kernels gnp_fit,ides_fit,lat_adjust`` times all six variants.
+    """
+    families = kernel_families()
+    names: list[str] = []
+    for token in tokens:
+        for part in str(token).split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if part in families:
+                names.extend(families[part])
+            elif part in _KERNELS:
+                names.append(part)
+            else:
+                raise BenchmarkError(
+                    f"unknown benchmark kernel or family {part!r}; "
+                    f"kernels: {', '.join(_KERNELS)}; "
+                    f"families: {', '.join(sorted(families))}"
+                )
+    return tuple(dict.fromkeys(names))
 
 
 def get_kernel(name: str) -> KernelSpec:

@@ -99,3 +99,58 @@ class TestFitIdes:
         matrix = DelayMatrix(delays, symmetrize=False)
         coords = fit_ides(matrix, IDESConfig(dimension=3))
         assert np.all(np.isfinite(coords.predicted_matrix()))
+
+
+class TestKernels:
+    """Batched vs reference IDES kernels: float-level equivalence."""
+
+    def test_unknown_kernel_raises(self, small_internet_matrix):
+        with pytest.raises(EmbeddingError):
+            fit_ides(small_internet_matrix, kernel="turbo")
+
+    @pytest.mark.parametrize("method", ["svd", "nmf"])
+    def test_kernels_agree_to_float_accuracy(self, small_internet_matrix, method):
+        """The multi-RHS projection solves the same least-squares systems.
+
+        Same landmark selection (identical RNG stream), same factor
+        matrices; LAPACK's multi-column path may round differently in the
+        last ulps, hence allclose rather than array_equal.
+        """
+        batched = fit_ides(
+            small_internet_matrix, IDESConfig(method=method), rng=7, kernel="batched"
+        )
+        reference = fit_ides(
+            small_internet_matrix, IDESConfig(method=method), rng=7, kernel="reference"
+        )
+        assert batched.landmarks == reference.landmarks
+        assert np.allclose(batched.outgoing, reference.outgoing, atol=1e-9)
+        assert np.allclose(batched.incoming, reference.incoming, atol=1e-9)
+
+    @pytest.mark.parametrize("kernel", ["batched", "reference"])
+    def test_landmarks_keep_exact_landmark_vectors(self, small_internet_matrix, kernel):
+        """Regression: the host projection must not touch landmark rows."""
+        landmarks = list(range(0, 40, 4))
+        coords = fit_ides(
+            small_internet_matrix, IDESConfig(), rng=3, landmarks=landmarks, kernel=kernel
+        )
+        rerun = fit_ides(
+            small_internet_matrix, IDESConfig(), rng=3, landmarks=landmarks, kernel=kernel
+        )
+        assert coords.landmarks == tuple(landmarks)
+        assert np.array_equal(coords.outgoing[landmarks], rerun.outgoing[landmarks])
+        assert np.array_equal(coords.incoming[landmarks], rerun.incoming[landmarks])
+
+    @pytest.mark.parametrize("kernel", ["batched", "reference"])
+    def test_per_seed_determinism(self, small_internet_matrix, kernel):
+        a = fit_ides(small_internet_matrix, IDESConfig(method="nmf"), rng=5, kernel=kernel)
+        b = fit_ides(small_internet_matrix, IDESConfig(method="nmf"), rng=5, kernel=kernel)
+        assert np.array_equal(a.outgoing, b.outgoing)
+        assert np.array_equal(a.incoming, b.incoming)
+
+    def test_nmf_kernels_stay_nonnegative(self, small_internet_matrix):
+        for kernel in ("batched", "reference"):
+            coords = fit_ides(
+                small_internet_matrix, IDESConfig(method="nmf"), rng=1, kernel=kernel
+            )
+            assert np.all(coords.outgoing >= 0)
+            assert np.all(coords.incoming >= 0)

@@ -44,6 +44,8 @@ class TestExperimentConfig:
             ExperimentConfig(meridian_small_count=1)
         with pytest.raises(ConfigError):
             ExperimentConfig(vivaldi_kernel="turbo")
+        with pytest.raises(ConfigError):
+            ExperimentConfig(coords_kernel="turbo")
 
     def test_vivaldi_kernel_threads_to_embedding(self):
         """The configured kernel reaches the context's shared embedding."""
@@ -52,6 +54,29 @@ class TestExperimentConfig:
                 ExperimentConfig(n_nodes=24, vivaldi_seconds=2, vivaldi_kernel=kernel)
             )
             assert context.vivaldi.kernel == kernel
+
+    def test_coords_kernel_is_part_of_strawman_cache_addresses(self):
+        """Both strawman artefact addresses carry the coords kernel.
+
+        Mirrors the vivaldi_kernel contract: entries written by a different
+        kernel (or by pre-kernel code) must read as misses, never as stale
+        hits.
+        """
+        contexts = {
+            kernel: ExperimentContext(
+                ExperimentConfig(n_nodes=24, vivaldi_seconds=2, coords_kernel=kernel)
+            )
+            for kernel in ("batched", "reference")
+        }
+        ides_params = {k: ctx._ides_params() for k, ctx in contexts.items()}
+        lat_params = {k: ctx._lat_params() for k, ctx in contexts.items()}
+        assert ides_params["batched"] != ides_params["reference"]
+        assert lat_params["batched"] != lat_params["reference"]
+        assert ides_params["batched"]["kernel"] == "batched"
+        assert lat_params["batched"]["coords_kernel"] == "batched"
+        # The Vivaldi step kernel addresses the LAT artefact too (LAT
+        # adjusts the converged embedding).
+        assert "kernel" in lat_params["batched"]
 
 
 class TestExperimentContext:

@@ -371,3 +371,41 @@ class TestRobustness:
         with pytest.raises(ExperimentError, match="ValueError") as excinfo:
             run_experiments(TINY, only=["fig03"], jobs=1)
         assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestStrawmanArtifacts:
+    """The cached IDES/LAT embeddings (ISSUE 4) behave like every artefact."""
+
+    def test_fig15_fig16_deterministic_across_jobs(self):
+        """Per-seed determinism of the batched strawman kernels must hold
+        whether the runners share one in-process context (jobs=1) or
+        rebuild their own from scratch in worker processes (jobs=2)."""
+        sequential = run_experiments(TINY, only=["fig15", "fig16"], jobs=1)
+        parallel = run_experiments(TINY, only=["fig15", "fig16"], jobs=2)
+        for experiment_id in ("fig15", "fig16"):
+            assert results_equal(
+                sequential.results[experiment_id].data,
+                parallel.results[experiment_id].data,
+            ), experiment_id
+
+    def test_warm_run_restores_identical_strawman_results(self, tmp_path):
+        cache_dir = tmp_path / "artifacts"
+        cold = run_experiments(TINY, only=["fig15", "fig16"], jobs=1, cache_dir=cache_dir)
+        warm = run_experiments(TINY, only=["fig15", "fig16"], jobs=1, cache_dir=cache_dir)
+        for experiment_id in ("fig15", "fig16"):
+            assert results_equal(
+                cold.results[experiment_id].data, warm.results[experiment_id].data
+            ), experiment_id
+        assert warm.report.all_cache_hits
+
+    def test_reference_coords_kernel_addresses_separate_entries(self, tmp_path):
+        """Switching coords_kernel must miss (and refill) the cache, not
+        reuse the other kernel's artefacts."""
+        import dataclasses
+
+        cache_dir = tmp_path / "artifacts"
+        run_experiments(TINY, only=["fig16"], jobs=1, cache_dir=cache_dir)
+        reference = dataclasses.replace(TINY, coords_kernel="reference")
+        outcome = run_experiments(reference, only=["fig16"], jobs=1, cache_dir=cache_dir)
+        total = outcome.report.total_cache()
+        assert total.misses > 0

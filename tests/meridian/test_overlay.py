@@ -284,3 +284,118 @@ class TestDegenerateOverlays:
         overlay = MeridianOverlay(matrix, [0, 1], rng=0, full_membership=True)
         with pytest.raises(MeridianError):
             overlay.true_closest(2)
+
+
+class TestKernels:
+    """Batched vs reference overlay kernels: exact equivalence.
+
+    Unlike the embedding kernels, the Meridian switch only trades loop
+    shape for array gathers — both kernels consume the RNG identically, so
+    rings, member order and every query outcome must match bit for bit.
+    """
+
+    def test_unknown_kernel_raises(self, small_internet_matrix):
+        with pytest.raises(MeridianError):
+            MeridianOverlay(small_internet_matrix, [0, 1, 2], kernel="turbo")
+
+    def test_kernel_property(self, small_internet_matrix):
+        assert MeridianOverlay(small_internet_matrix, [0, 1], rng=0).kernel == "batched"
+        assert (
+            MeridianOverlay(small_internet_matrix, [0, 1], rng=0, kernel="reference").kernel
+            == "reference"
+        )
+
+    @staticmethod
+    def _assert_same_rings(a: MeridianOverlay, b: MeridianOverlay):
+        assert a.meridian_ids == b.meridian_ids
+        for node_id in a.meridian_ids:
+            assert a.node(node_id).members() == b.node(node_id).members()
+            for ring in range(a.config.n_rings):
+                assert a.node(node_id).rings.ring_members(ring) == b.node(
+                    node_id
+                ).rings.ring_members(ring)
+
+    @pytest.mark.parametrize("full_membership", [True, False])
+    def test_identical_rings(self, small_internet_matrix, full_membership):
+        overlays = [
+            MeridianOverlay(
+                small_internet_matrix,
+                range(0, 80, 2),
+                rng=5,
+                full_membership=full_membership,
+                membership_sample_size=12,
+                kernel=kernel,
+            )
+            for kernel in ("batched", "reference")
+        ]
+        self._assert_same_rings(*overlays)
+
+    def test_identical_rings_with_excluded_edges(self, small_internet_matrix):
+        excluded = [(0, 2), (4, 6), (2, 10)]
+        overlays = [
+            MeridianOverlay(
+                small_internet_matrix,
+                range(0, 80, 4),
+                rng=3,
+                excluded_edges=excluded,
+                kernel=kernel,
+            )
+            for kernel in ("batched", "reference")
+        ]
+        self._assert_same_rings(*overlays)
+
+    def test_identical_rings_with_membership_adjuster(self, small_internet_matrix):
+        # A membership adjuster forces the per-member build path under both
+        # kernels; the batched overlay must still produce the same rings.
+        adjuster = lambda owner, member, delay: delay * 2 if delay < 50 else None  # noqa: E731
+        overlays = [
+            MeridianOverlay(
+                small_internet_matrix,
+                range(0, 80, 4),
+                rng=3,
+                membership_adjuster=adjuster,
+                kernel=kernel,
+            )
+            for kernel in ("batched", "reference")
+        ]
+        self._assert_same_rings(*overlays)
+
+    def test_identical_query_results(self, small_internet_matrix):
+        meridian_ids = list(range(0, 80, 2))
+        overlays = {
+            kernel: MeridianOverlay(
+                small_internet_matrix, meridian_ids, rng=7, kernel=kernel
+            )
+            for kernel in ("batched", "reference")
+        }
+        targets = [node for node in range(80) if node % 2]
+        for target in targets:
+            start = meridian_ids[target % len(meridian_ids)]
+            a = overlays["batched"].closest_neighbor_query(target, start_node=start)
+            b = overlays["reference"].closest_neighbor_query(target, start_node=start)
+            assert (a.selected, a.selected_delay) == (b.selected, b.selected_delay)
+            assert (a.optimal, a.optimal_delay) == (b.optimal, b.optimal_delay)
+            assert a.probes == b.probes
+            assert a.hops == b.hops
+            assert a.restarted == b.restarted
+
+    def test_identical_true_closest(self, small_internet_matrix):
+        overlays = [
+            MeridianOverlay(small_internet_matrix, range(0, 80, 2), rng=1, kernel=kernel)
+            for kernel in ("batched", "reference")
+        ]
+        for target in range(1, 80, 2):
+            assert overlays[0].true_closest(target) == overlays[1].true_closest(target)
+
+    def test_batched_true_closest_missing_delays_raise(self):
+        delays = np.array(
+            [
+                [0.0, 5.0, np.nan],
+                [5.0, 0.0, np.nan],
+                [np.nan, np.nan, 0.0],
+            ]
+        )
+        matrix = DelayMatrix(delays, symmetrize=False)
+        overlay = MeridianOverlay(matrix, [0, 1], rng=0, kernel="batched")
+        with pytest.raises(MeridianError):
+            overlay.true_closest(2)

@@ -2,10 +2,17 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.errors import MeridianError
-from repro.meridian.rings import MeridianConfig, RingSet, ring_bounds, ring_index
+from repro.meridian.rings import (
+    MeridianConfig,
+    RingSet,
+    ring_bounds,
+    ring_index,
+    ring_indices,
+)
 
 
 class TestMeridianConfig:
@@ -133,3 +140,79 @@ class TestRingSet:
         occupancy = rings.occupancy()
         assert sum(occupancy) == 2
         assert len(occupancy) == 11
+
+
+class TestRingIndices:
+    """Vectorised ring assignment must match the scalar helper exactly."""
+
+    def test_matches_scalar_on_random_and_boundary_delays(self):
+        config = MeridianConfig()
+        rng = np.random.default_rng(0)
+        boundaries = config.alpha * config.s ** np.arange(config.n_rings + 1, dtype=float)
+        delays = np.concatenate(
+            [rng.uniform(0.0, 4000.0, 2000), [0.0, config.alpha], boundaries,
+             np.nextafter(boundaries, np.inf), np.nextafter(boundaries[1:], 0.0)]
+        )
+        vectorised = ring_indices(delays, config)
+        scalar = np.array([ring_index(float(d), config) for d in delays])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_matches_scalar_for_non_default_geometry(self):
+        config = MeridianConfig(alpha=2.5, s=3.0, n_rings=6)
+        delays = np.linspace(0.0, 2500.0, 997)
+        vectorised = ring_indices(delays, config)
+        scalar = np.array([ring_index(float(d), config) for d in delays])
+        assert np.array_equal(vectorised, scalar)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(MeridianError):
+            ring_indices(np.array([1.0, -0.5]), MeridianConfig())
+
+
+class TestBulkAdd:
+    """RingSet.bulk_add must behave exactly like sequential add calls."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equivalent_to_sequential_adds(self, seed):
+        config = MeridianConfig(k=3, n_rings=5)
+        rng = np.random.default_rng(seed)
+        members = rng.permutation(200)[:120]
+        delays = rng.uniform(0.0, 300.0, size=members.size)
+
+        sequential = RingSet(config)
+        for member, delay in zip(members, delays):
+            sequential.add(int(member), float(delay))
+        bulk = RingSet(config)
+        added = bulk.bulk_add(members, delays)
+
+        assert added == len(sequential)
+        assert bulk.members() == sequential.members()  # incl. insertion order
+        for index in range(config.n_rings):
+            assert bulk.ring_members(index) == sequential.ring_members(index)
+
+    def test_respects_existing_occupancy(self):
+        config = MeridianConfig(k=2, n_rings=3, alpha=10.0, s=2.0)
+        rings = RingSet(config)
+        rings.add(99, 5.0)  # ring 0 now has one free slot
+        added = rings.bulk_add(np.array([1, 2, 3]), np.array([4.0, 6.0, 7.0]))
+        assert added == 1
+        assert rings.members() == [99, 1]
+
+    def test_rejects_invalid_input(self):
+        rings = RingSet(MeridianConfig())
+        with pytest.raises(MeridianError):
+            rings.bulk_add(np.array([1, 2]), np.array([1.0]))
+        with pytest.raises(MeridianError):
+            rings.bulk_add(np.array([1, 2]), np.array([1.0, -2.0]))
+        with pytest.raises(MeridianError):
+            rings.bulk_add(np.array([1, 2]), np.array([1.0, np.inf]))
+        with pytest.raises(MeridianError):
+            rings.bulk_add(np.array([1, 1]), np.array([1.0, 2.0]))
+        rings.add(7, 3.0)
+        with pytest.raises(MeridianError):
+            rings.bulk_add(np.array([7]), np.array([4.0]))
+
+    def test_empty_bulk_add_is_a_noop(self):
+        rings = RingSet(MeridianConfig())
+        assert rings.bulk_add(np.array([], dtype=int), np.array([])) == 0
+        assert len(rings) == 0

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.perf.bench import SCHEMA, run_benchmarks, write_report
-from repro.perf.kernels import BenchmarkError, available_kernels, get_kernel
+from repro.perf.kernels import (
+    BenchmarkError,
+    available_kernels,
+    get_kernel,
+    kernel_families,
+    resolve_kernel_names,
+)
 
 #: Small enough that every kernel runs in milliseconds.
 TINY = 24
@@ -15,8 +21,15 @@ TINY = 24
 class TestKernelRegistry:
     def test_expected_kernels_registered(self):
         names = available_kernels()
-        assert "vivaldi_step_batched" in names
-        assert "vivaldi_step_reference" in names
+        for family in (
+            "vivaldi_step",
+            "gnp_fit",
+            "ides_fit",
+            "lat_adjust",
+            "meridian_query",
+        ):
+            assert f"{family}_batched" in names
+            assert f"{family}_reference" in names
         assert "tiv_severity" in names
         assert "shortest_paths" in names
         assert "scenario_generation" in names
@@ -24,6 +37,43 @@ class TestKernelRegistry:
     def test_unknown_kernel_raises(self):
         with pytest.raises(BenchmarkError):
             get_kernel("warp_drive")
+
+    def test_kernel_families_pair_batched_with_reference(self):
+        families = kernel_families()
+        assert set(families) == {
+            "vivaldi_step",
+            "gnp_fit",
+            "ides_fit",
+            "lat_adjust",
+            "meridian_query",
+        }
+        for family, (batched, reference) in families.items():
+            assert batched == f"{family}_batched"
+            assert reference == f"{family}_reference"
+
+    def test_resolve_kernel_names_expands_families_and_commas(self):
+        assert resolve_kernel_names(["gnp_fit"]) == (
+            "gnp_fit_batched",
+            "gnp_fit_reference",
+        )
+        assert resolve_kernel_names(["gnp_fit,ides_fit", "tiv_severity"]) == (
+            "gnp_fit_batched",
+            "gnp_fit_reference",
+            "ides_fit_batched",
+            "ides_fit_reference",
+            "tiv_severity",
+        )
+        # Plain names pass through; duplicates collapse in first-seen order.
+        assert resolve_kernel_names(["lat_adjust_batched", "lat_adjust"]) == (
+            "lat_adjust_batched",
+            "lat_adjust_reference",
+        )
+
+    def test_resolve_kernel_names_rejects_unknown(self):
+        with pytest.raises(BenchmarkError):
+            resolve_kernel_names(["warp_drive"])
+        with pytest.raises(BenchmarkError):
+            resolve_kernel_names(["gnp_fit,warp_drive"])
 
     @pytest.mark.parametrize("name", available_kernels())
     def test_every_kernel_sets_up_and_runs(self, name):
@@ -62,6 +112,25 @@ class TestRunBenchmarks:
         assert report.timing("vivaldi_step_batched", 999) is None
         assert report.timing("tiv_severity", TINY) is None
 
+    def test_speedups_grouped_by_family(self):
+        report = run_benchmarks(
+            kernels=[
+                "gnp_fit_batched",
+                "gnp_fit_reference",
+                "lat_adjust_batched",
+                "tiv_severity",
+            ],
+            sizes=[TINY],
+            repeats=1,
+            warmup=0,
+        )
+        speedups = report.speedups()
+        # Only complete pairs produce a family entry; unpaired and
+        # pairless kernels are absent.
+        assert set(speedups) == {"gnp_fit"}
+        assert set(speedups["gnp_fit"]) == {str(TINY)}
+        assert speedups["gnp_fit"][str(TINY)] > 0
+
     def test_vivaldi_speedup_requires_both_kernels(self):
         only_batched = run_benchmarks(
             kernels=["vivaldi_step_batched"], sizes=[TINY], repeats=1, warmup=0
@@ -86,6 +155,7 @@ class TestRunBenchmarks:
         assert payload["sizes"] == [TINY]
         assert {"python", "numpy", "scipy", "machine"} <= set(payload["environment"])
         assert payload["kernels"][0]["kernel"] == "vivaldi_step_batched"
+        assert "speedups" in payload
 
     def test_write_report_round_trips(self, tmp_path):
         report = run_benchmarks(
@@ -157,6 +227,30 @@ class TestBenchCli:
         assert "wrote bench report" in captured.err
         loaded = json.loads(path.read_text())
         assert loaded["kernels"][0]["kernel"] == "tiv_severity"
+
+    def test_bench_accepts_family_and_comma_tokens(self, capsys):
+        code, captured = self._run(
+            capsys,
+            "bench",
+            "--sizes",
+            str(TINY),
+            "--kernels",
+            "lat_adjust,tiv_severity",
+            "--repeats",
+            "1",
+            "--warmup",
+            "0",
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        timed = {row["kernel"] for row in payload["kernels"]}
+        assert timed == {"lat_adjust_batched", "lat_adjust_reference", "tiv_severity"}
+        assert str(TINY) in payload["speedups"]["lat_adjust"]
+
+    def test_bench_rejects_unknown_kernel_token(self, capsys):
+        code, captured = self._run(capsys, "bench", "--kernels", "warp_drive")
+        assert code == 1
+        assert "unknown benchmark kernel" in captured.err
 
     def test_bench_rejects_bad_sizes(self, capsys):
         code, captured = self._run(capsys, "bench", "--sizes", "abc")

@@ -317,3 +317,86 @@ class TestPenaltyProperties:
         scaled = percentage_penalty(selected * 3.0, optimal * 3.0)
         assert penalty == pytest.approx(scaled)
         assert penalty == pytest.approx((factor - 1.0) * 100.0)
+
+
+class TestBatchedKernelProperties:
+    """ISSUE 4 invariants of the batched GNP/IDES/LAT/Meridian kernels."""
+
+    @given(st.integers(min_value=10, max_value=20), st.integers(min_value=0, max_value=9_999))
+    @settings(max_examples=8, deadline=None)
+    def test_gnp_batched_finite_deterministic_landmarks_exact(self, n, seed):
+        from repro.coords.gnp import GNPConfig, _place_landmarks_batched, fit_gnp
+        from repro.stats.rng import ensure_rng
+
+        matrix = euclidean_delay_space(n, rng=seed)
+        landmarks = list(range(4))
+        config = GNPConfig(dimension=2, max_iterations=15)
+        fit = fit_gnp(matrix, config, rng=seed, landmarks=landmarks, kernel="batched")
+        again = fit_gnp(matrix, config, rng=seed, landmarks=landmarks, kernel="batched")
+        assert np.all(np.isfinite(fit.coordinates))
+        assert np.array_equal(fit.coordinates, again.coordinates)
+        # The landmark rows are exactly the landmark optimisation's output:
+        # the whole-matrix host solve never touches them.
+        gen = ensure_rng(seed)
+        expected = _place_landmarks_batched(
+            matrix.values[np.ix_(landmarks, landmarks)], 2, 15, gen
+        )
+        assert np.array_equal(fit.coordinates[landmarks], expected)
+
+    @given(delay_matrices(min_nodes=6, max_nodes=12))
+    @settings(max_examples=10, deadline=None)
+    def test_ides_batched_finite_and_landmark_vectors_exact(self, matrix):
+        from repro.coords.ides import IDESConfig, _filled, _fit_svd, fit_ides
+
+        landmarks = list(range(4))
+        fit = fit_ides(
+            matrix, IDESConfig(dimension=3), rng=0, landmarks=landmarks, kernel="batched"
+        )
+        assert np.all(np.isfinite(fit.outgoing))
+        assert np.all(np.isfinite(fit.incoming))
+        # Landmark vectors come straight from the landmark factorisation;
+        # the one-shot host projection must not touch them.
+        data = _filled(matrix)
+        out, inc = _fit_svd(data[np.ix_(landmarks, landmarks)], 3)
+        assert np.array_equal(fit.outgoing[landmarks], out)
+        assert np.array_equal(fit.incoming[landmarks], inc)
+
+    @given(st.integers(min_value=5, max_value=12), st.integers(min_value=0, max_value=9_999))
+    @settings(max_examples=10, deadline=None)
+    def test_lat_batched_matches_reference_on_any_sample_lists(self, n, seed):
+        from repro.coords.lat import fit_lat
+        from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
+
+        matrix = euclidean_delay_space(n, rng=seed)
+        system = VivaldiSystem(
+            matrix, VivaldiConfig(n_neighbors=4, dimension=2), rng=seed
+        )
+        system.run(3)
+        rng = np.random.default_rng(seed)
+        samples = [
+            [int(j) for j in rng.choice(n, size=int(rng.integers(0, n)), replace=False)]
+            for _ in range(n)
+        ]
+        batched = fit_lat(system, samples=samples, kernel="batched")
+        reference = fit_lat(system, samples=samples, kernel="reference")
+        assert np.all(np.isfinite(batched.adjustments))
+        assert np.allclose(batched.adjustments, reference.adjustments, atol=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.5, max_value=10.0),
+        st.floats(min_value=1.5, max_value=4.0),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ring_indices_matches_scalar_ring_index(self, delays, alpha, s, n_rings):
+        from repro.meridian.rings import ring_indices
+
+        config = MeridianConfig(alpha=alpha, s=s, n_rings=n_rings)
+        vectorised = ring_indices(np.asarray(delays), config)
+        scalar = np.array([ring_index(d, config) for d in delays])
+        assert np.array_equal(vectorised, scalar)
