@@ -11,6 +11,8 @@ driven without writing Python::
     python -m repro run-all --jobs 4 \
         --cache-dir .cache/experiments \
         --report BENCH_experiments.json           # full parallel cached sweep
+    python -m repro graph --experiment fig19      # resolved artifact DAG
+    python -m repro cache prune --cache-dir .cache/experiments --dry-run
     python -m repro scenarios --matrix full       # list the scenario library
     python -m repro run-scenarios --matrix small \
         --jobs 2 --cache-dir .cache/experiments \
@@ -178,6 +180,66 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         )
     if args.report:
         print(f"wrote run report to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.artifacts import graph_status, resolve_plan
+    from repro.experiments.cache import ArtifactCache
+    from repro.experiments.engine import resolve_experiment_ids
+
+    wanted = resolve_experiment_ids(args.experiment)
+    config = _scoped_config(args)
+    plan = resolve_plan(config, wanted)
+    cache = ArtifactCache(args.cache_dir) if args.cache_dir else None
+    rows = graph_status(plan.graph, cache)
+    if args.json:
+        _print_json(
+            {
+                "experiments": wanted,
+                "scenario": config.scenario,
+                "n_nodes": config.n_nodes,
+                "seed": config.seed,
+                "cache_dir": args.cache_dir,
+                "artifacts": rows,
+            }
+        )
+        return 0
+    waves = 1 + max((row["wave"] for row in rows), default=-1)
+    print(
+        f"artifact graph for {len(wanted)} experiment(s): "
+        f"{len(rows)} artifact(s) in {waves} wave(s)"
+    )
+    width = max((len(row["artifact"]) for row in rows), default=0)
+    current_wave = None
+    for row in rows:
+        if row["wave"] != current_wave:
+            current_wave = row["wave"]
+            print(f"wave {current_wave}:")
+        deps = f"  <- {', '.join(row['deps'])}" if row["deps"] else ""
+        print(
+            f"  {row['artifact']:<{width}}  kind={row['kind']:<13} "
+            f"cache={row['cache']:<7} addr={row['address']}{deps}"
+        )
+    return 0
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    from repro.artifacts import prune_cache
+
+    report = prune_cache(args.cache_dir, dry_run=args.dry_run)
+    _print_json(report.as_dict())
+    if args.dry_run:
+        print(
+            f"dry run: {len(report.pruned)} stale entr(ies) of {report.scanned} "
+            "would be pruned",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"pruned {len(report.pruned)} stale entr(ies), kept {report.kept}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -364,6 +426,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="also emit scalar result payloads"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    graph = sub.add_parser(
+        "graph",
+        help="print the resolved artifact DAG (topological waves, cache status)",
+    )
+    graph.add_argument(
+        "--experiment",
+        nargs="+",
+        default=None,
+        help="figure ids to resolve (default: every registered experiment)",
+    )
+    graph.add_argument(
+        "--scenario",
+        default=None,
+        help="library scenario to resolve the graph under (see 'scenarios')",
+    )
+    graph.add_argument("--nodes", type=int, default=240)
+    graph.add_argument("--seed", type=int, default=0)
+    graph.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache to check each node's hit/miss status against",
+    )
+    graph.add_argument(
+        "--json", action="store_true", help="emit the graph as JSON instead of text"
+    )
+    graph.set_defaults(func=_cmd_graph)
+
+    cache = sub.add_parser("cache", help="artifact-cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    prune = cache_sub.add_parser(
+        "prune",
+        help="evict cache entries no registered artifact node can produce "
+        "(retired schema tags or kernel eras, unknown kinds, orphans)",
+    )
+    prune.add_argument(
+        "--cache-dir", required=True, help="artifact cache directory to prune"
+    )
+    prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
+    prune.set_defaults(func=_cmd_cache_prune)
 
     # Only the light library module: importing the full scenarios package
     # would drag the engine/cache stack into every CLI invocation.

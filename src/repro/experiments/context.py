@@ -1,53 +1,71 @@
-"""Lazily cached shared artefacts for the experiment runners.
+"""The experiment context: a thin view over artifact-graph resolution.
 
 Several figures need the same expensive intermediates — the DS²-like delay
 matrix, its TIV severities, the all-pairs shortest-path matrix, a converged
-Vivaldi embedding, and the TIV alert built from that embedding.
-:class:`ExperimentContext` computes each of them at most once per
-configuration so a sequence of runners (or a benchmark session) does not
-repeat the work.
+Vivaldi embedding, the TIV alert and the strawman embeddings.  What each of
+them *is* (dependencies, cache address, compute/restore functions) is
+declared once in :mod:`repro.artifacts.nodes`; :class:`ExperimentContext`
+only executes those declarations: :meth:`materialize` resolves one
+:class:`~repro.artifacts.nodes.ArtifactKey` through the in-memory memo, the
+optional on-disk :class:`~repro.experiments.cache.ArtifactCache`, and
+finally the node's compute function (which pulls its dependencies back
+through the context, recursively).
 
-When constructed with an :class:`~repro.experiments.cache.ArtifactCache`
-the context additionally persists every artefact to disk, content-addressed
-by the parameters that determine it.  A second run of the same
-configuration is then served entirely from the cache, and parallel workers
-(see :mod:`repro.experiments.engine`) share the artefacts across processes.
+Every materialisation is recorded as an :class:`ArtifactEvent` (self
+wall-clock seconds, computed vs restored, cache address) — the engine
+drains these into the per-artifact section of ``BENCH_experiments.json``.
 
 The configuration's ``scenario`` field is a first-class dimension here:
 when set, every dataset load routes through the scenario generator layer
 (:mod:`repro.scenarios.generators`) and the scenario's knobs join the
 cache address, so different scenarios never collide while the no-op
-baseline scenario shares artefacts with plain runs.
+baseline scenario shares artifacts with plain runs.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import time
+from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
-from repro.core.alert import TIVAlert
-from repro.coords.ides import IDESConfig, IDESCoordinates, fit_ides
-from repro.coords.lat import LATCoordinates, fit_lat
-from repro.coords.vivaldi import VivaldiConfig, VivaldiSystem
-from repro.delayspace.clustering import ClusterAssignment, classify_major_clusters
-from repro.delayspace.matrix import DelayMatrix
-from repro.delayspace.shortest_path import shortest_path_matrix
-from repro.experiments.cache import ArtifactCache
+from repro.artifacts.nodes import ArtifactKey, get_node
+from repro.experiments.cache import ArtifactCache, stable_key
 from repro.experiments.config import ExperimentConfig
-from repro.neighbor.selection import CoordinateSelectionExperiment
-from repro.tiv.severity import TIVSeverityResult, compute_tiv_severity
+
+
+@dataclass(frozen=True)
+class ArtifactEvent:
+    """One artifact materialisation (restored from cache, or computed)."""
+
+    artifact: str
+    node: str
+    kind: str
+    address: str
+    wall_seconds: float
+    outcome: str  # "computed" | "restored"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "artifact": self.artifact,
+            "node": self.node,
+            "kind": self.kind,
+            "address": self.address,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "outcome": self.outcome,
+        }
 
 
 class ExperimentContext:
-    """Shared, lazily computed artefacts for one :class:`ExperimentConfig`.
+    """Shared, lazily materialised artifacts for one :class:`ExperimentConfig`.
 
     Parameters
     ----------
     config:
         The experiment configuration; defaults to the scaled-down defaults.
     cache:
-        Optional on-disk artifact cache.  When given, every artefact is
+        Optional on-disk artifact cache.  When given, every artifact is
         loaded from / stored to the cache in addition to the in-memory
         memoisation, making repeated and multi-process runs incremental.
     """
@@ -81,387 +99,161 @@ class ExperimentContext:
             self.scenario = get_scenario(self.config.scenario)
         else:
             self.scenario = None
-        self._matrices: dict[tuple[str, int], DelayMatrix] = {}
-        self._ground_truth: dict[tuple[str, int], np.ndarray] = {}
-        self._severities: dict[tuple[str, int], TIVSeverityResult] = {}
-        self._cluster_assignment: Optional[ClusterAssignment] = None
-        self._shortest_paths: Optional[np.ndarray] = None
-        self._vivaldi: Optional[VivaldiSystem] = None
-        self._alert: Optional[TIVAlert] = None
-        self._ides: Optional[IDESCoordinates] = None
-        self._lat: Optional[LATCoordinates] = None
+        self._values: dict[ArtifactKey, Any] = {}
+        self._events: list[ArtifactEvent] = []
+        # Per-frame accumulator of time spent materialising nested
+        # dependencies, so each event reports *self* seconds, not the whole
+        # subtree (the scheduler already accounts dependencies separately).
+        self._child_seconds: list[float] = []
 
-    # -- cache plumbing --------------------------------------------------------
+    # -- graph resolution ------------------------------------------------------
 
-    def _matrix_params(self, preset: str, n_nodes: int) -> dict:
-        params = {"preset": preset, "n_nodes": int(n_nodes), "seed": self.config.seed}
-        # A (non-no-op) scenario changes the generated matrices, so it is
-        # part of their content address; a no-op scenario — and the plain
-        # scenario-free harness — keep the original address and therefore
-        # share cache entries.
-        if self.scenario is not None and not self.scenario.is_noop:
-            params["scenario"] = self.scenario.cache_params()
-        return params
+    def _main_instance(self) -> tuple:
+        from repro.artifacts.nodes import _main_instance
 
-    def _embedding_params(self) -> dict:
-        """Parameters that fully determine the Vivaldi embedding (and alert).
+        return _main_instance(self)
 
-        Deliberately narrower than the full config fingerprint: selection
-        and Meridian knobs (``max_clients``, ``selection_runs``, ...) never
-        enter the embedding, so changing them must not invalidate the most
-        expensive cached artefacts.
-        """
-        params = {
-            "preset": self.config.dataset,
-            "n_nodes": self.config.n_nodes,
-            "seed": self.config.seed,
-            "vivaldi_seconds": self.config.vivaldi_seconds,
-            # The kernel always joins the address (even at its default):
-            # the batched kernel follows a different per-seed stream than
-            # the scalar one, so entries written by pre-kernel versions of
-            # this code must read as misses, not as stale hits.
-            "kernel": self.config.vivaldi_kernel,
-        }
-        if self.scenario is not None and not self.scenario.is_noop:
-            params["scenario"] = self.scenario.cache_params()
-        return params
+    def artifact_params(self, key: ArtifactKey) -> dict:
+        """The cache-address parameters of ``key`` under this context."""
+        node = get_node(key.node)
+        return node.params(self, key.instance)
 
-    def _ides_params(self) -> dict:
-        """Parameters that fully determine the IDES strawman embedding.
+    def materialize(self, key: ArtifactKey) -> Any:
+        """Resolve one artifact: memo → cache restore → compute (and store)."""
+        if key in self._values:
+            return self._values[key]
+        started = time.perf_counter()
+        self._child_seconds.append(0.0)
+        try:
+            value, outcome, address, kind = self._materialize_uncached(key)
+        finally:
+            child_seconds = self._child_seconds.pop()
+        elapsed = time.perf_counter() - started
+        if self._child_seconds:
+            self._child_seconds[-1] += elapsed
+        self._values[key] = value
+        self._events.append(
+            ArtifactEvent(
+                artifact=key.label,
+                node=key.node,
+                kind=kind,
+                address=address,
+                wall_seconds=max(0.0, elapsed - child_seconds),
+                outcome=outcome,
+            )
+        )
+        return value
 
-        IDES never touches the Vivaldi embedding, so its address is the
-        dataset address plus the coords kernel (the batched and reference
-        fits solve the same systems, but only entries written by the same
-        kernel are guaranteed bit-identical — like ``vivaldi_kernel``, the
-        kernel always joins the address so pre-switch entries miss).
-        """
-        params = self._matrix_params(self.config.dataset, self.config.n_nodes)
-        params["kernel"] = self.config.coords_kernel
-        return params
+    def _materialize_uncached(self, key: ArtifactKey) -> tuple[Any, str, str, str]:
+        node = get_node(key.node)
+        params = node.params(self, key.instance)
+        address = stable_key(node.kind, params)
+        restored = self._restore_cached(node, key, params)
+        if restored is not None:
+            return restored, "restored", address, node.kind
+        value = node.compute(self, key.instance)
+        if self.cache is not None:
+            arrays, meta = node.payload(value)
+            self.cache.store(node.kind, params, arrays, meta=meta)
+        return value, "computed", address, node.kind
 
-    def _lat_params(self) -> dict:
-        """Parameters that fully determine the LAT strawman embedding.
+    def _restore_cached(self, node, key: ArtifactKey, params: dict):
+        """Load a cache entry and rebuild the artifact, self-healing on failure.
 
-        LAT adjusts the converged Vivaldi coordinates, so everything that
-        addresses the embedding addresses LAT too; the coords kernel joins
-        on top because the two LAT kernels follow different per-seed
-        sampling streams.
-        """
-        params = self._embedding_params()
-        params["coords_kernel"] = self.config.coords_kernel
-        return params
-
-    def _restore_cached(self, kind: str, params: dict, restore):
-        """Load a cache entry and rebuild the artefact, self-healing on failure.
-
-        ``restore`` maps a :class:`~repro.experiments.cache.CacheEntry` to
-        the artefact.  An entry whose stored arrays/metadata do not match
-        what ``restore`` expects (e.g. written by an incompatible version
+        An entry whose stored arrays/metadata do not match what the node's
+        restore function expects (e.g. written by an incompatible version
         into a persistent cache dir) is evicted and reclassified as a miss
         so the caller recomputes, keeping the cache's documented
         corrupted-entries-are-recomputed contract.
         """
         if self.cache is None:
             return None
-        entry = self.cache.load(kind, params)
+        entry = self.cache.load(node.kind, params)
         if entry is None:
             return None
         try:
-            return restore(entry)
+            return node.restore(self, key.instance, entry)
         except Exception:
-            self.cache.evict(kind, params)
+            self.cache.evict(node.kind, params)
             self.cache.stats.hits -= 1
             self.cache.stats.misses += 1
             return None
 
-    def _load_dataset_bundle(self, preset: str, n_nodes: int) -> None:
-        """Materialise (and cache) the matrix + ground-truth clusters of a preset."""
-        key = (preset, n_nodes)
-        if key in self._matrices:
-            return
-        params = self._matrix_params(preset, n_nodes)
-        restored = self._restore_cached(
-            "dataset",
-            params,
-            lambda entry: (
-                DelayMatrix(
-                    entry.arrays["delays"],
-                    labels=entry.meta["labels"],
-                    symmetrize=False,
-                ),
-                entry.arrays["clusters"],
-            ),
-        )
-        if restored is not None:
-            self._matrices[key], self._ground_truth[key] = restored
-            return
-        from repro.scenarios.generators import load_scenario_dataset
-
-        matrix, clusters = load_scenario_dataset(
-            self.scenario, preset, n_nodes, self.config.seed
-        )
-        self._matrices[key] = matrix
-        self._ground_truth[key] = np.asarray(clusters)
-        if self.cache is not None:
-            self.cache.store(
-                "dataset",
-                params,
-                {"delays": matrix.values, "clusters": np.asarray(clusters)},
-                meta={"labels": list(matrix.labels)},
-            )
+    def drain_events(self) -> list[ArtifactEvent]:
+        """Return (and clear) the materialisation events recorded so far."""
+        events, self._events = self._events, []
+        return events
 
     # -- substrate -------------------------------------------------------------
 
-    def dataset_matrix(self, preset: str, n_nodes: int | None = None) -> DelayMatrix:
+    def dataset_matrix(self, preset: str, n_nodes: int | None = None):
         """The synthetic delay matrix for ``preset`` at ``n_nodes`` (cached).
 
         Runners that sweep several data sets (Figs. 2, 4–7, 9, 14) route
         their matrix loads through this method so the matrices are shared
         in-memory and, when a cache is attached, on disk.
         """
-        count = int(n_nodes) if n_nodes is not None else self.config.n_nodes
-        self._load_dataset_bundle(preset, count)
-        return self._matrices[(preset, count)]
+        count = int(n_nodes) if n_nodes is not None else int(self.config.n_nodes)
+        return self.materialize(ArtifactKey("dataset", (preset, count)))[0]
 
-    def dataset_severity(self, preset: str, n_nodes: int | None = None) -> TIVSeverityResult:
+    def dataset_severity(self, preset: str, n_nodes: int | None = None):
         """TIV severities of ``dataset_matrix(preset, n_nodes)`` (cached)."""
-        count = int(n_nodes) if n_nodes is not None else self.config.n_nodes
-        key = (preset, count)
-        if key in self._severities:
-            return self._severities[key]
-        params = self._matrix_params(preset, count)
-        restored = self._restore_cached(
-            "severity",
-            params,
-            lambda entry: TIVSeverityResult(
-                severity=entry.arrays["severity"],
-                violation_counts=entry.arrays["violation_counts"],
-                n_nodes=int(entry.meta["n_nodes"]),
-            ),
-        )
-        if restored is not None:
-            self._severities[key] = restored
-            return restored
-        result = compute_tiv_severity(self.dataset_matrix(preset, count))
-        self._severities[key] = result
-        if self.cache is not None:
-            self.cache.store(
-                "severity",
-                params,
-                {"severity": result.severity, "violation_counts": result.violation_counts},
-                meta={"n_nodes": result.n_nodes},
-            )
-        return result
+        count = int(n_nodes) if n_nodes is not None else int(self.config.n_nodes)
+        return self.materialize(ArtifactKey("severity", (preset, count)))
 
     @property
-    def matrix(self) -> DelayMatrix:
+    def matrix(self):
         """The synthetic delay matrix for ``config.dataset``."""
-        return self.dataset_matrix(self.config.dataset, self.config.n_nodes)
+        return self.materialize(ArtifactKey("dataset", self._main_instance()))[0]
 
     @property
     def ground_truth_clusters(self) -> np.ndarray:
         """Ground-truth cluster labels of the synthetic matrix."""
-        _ = self.matrix
-        return self._ground_truth[(self.config.dataset, self.config.n_nodes)]
+        return self.materialize(ArtifactKey("dataset", self._main_instance()))[1]
 
     @property
-    def cluster_assignment(self) -> ClusterAssignment:
+    def cluster_assignment(self):
         """Clusters recovered by the paper's clustering procedure."""
-        if self._cluster_assignment is not None:
-            return self._cluster_assignment
-        params = self._matrix_params(self.config.dataset, self.config.n_nodes)
-        restored = self._restore_cached(
-            "clusters",
-            params,
-            lambda entry: ClusterAssignment(
-                labels=entry.arrays["labels"].astype(int),
-                n_clusters=int(entry.meta["n_clusters"]),
-                cluster_radius=float(entry.meta["cluster_radius"]),
-                heads=tuple(int(h) for h in entry.meta["heads"]),
-            ),
-        )
-        if restored is not None:
-            self._cluster_assignment = restored
-            return restored
-        assignment = classify_major_clusters(self.matrix)
-        self._cluster_assignment = assignment
-        if self.cache is not None:
-            self.cache.store(
-                "clusters",
-                params,
-                {"labels": assignment.labels},
-                meta={
-                    "n_clusters": assignment.n_clusters,
-                    "cluster_radius": assignment.cluster_radius,
-                    "heads": list(assignment.heads),
-                },
-            )
-        return assignment
+        return self.materialize(ArtifactKey("clusters"))
 
     # -- analysis --------------------------------------------------------------
 
     @property
-    def severity(self) -> TIVSeverityResult:
+    def severity(self):
         """TIV severities of the matrix."""
-        return self.dataset_severity(self.config.dataset, self.config.n_nodes)
+        return self.materialize(ArtifactKey("severity", self._main_instance()))
 
     @property
     def shortest_paths(self) -> np.ndarray:
         """All-pairs shortest-path delay matrix of :attr:`matrix` (Fig. 8)."""
-        if self._shortest_paths is not None:
-            return self._shortest_paths
-        params = self._matrix_params(self.config.dataset, self.config.n_nodes)
-        restored = self._restore_cached(
-            "shortest_path", params, lambda entry: entry.arrays["shortest"]
-        )
-        if restored is not None:
-            self._shortest_paths = restored
-            return restored
-        shortest = shortest_path_matrix(self.matrix)
-        self._shortest_paths = shortest
-        if self.cache is not None:
-            self.cache.store("shortest_path", params, {"shortest": shortest})
-        return shortest
+        return self.materialize(ArtifactKey("shortest"))
 
     @property
-    def vivaldi(self) -> VivaldiSystem:
+    def vivaldi(self):
         """A Vivaldi embedding converged for ``config.vivaldi_seconds``."""
-        if self._vivaldi is not None:
-            return self._vivaldi
-        params = self._embedding_params()
-
-        def _restore_vivaldi(entry):
-            system = VivaldiSystem(
-                self.matrix,
-                VivaldiConfig(),
-                rng=self.config.seed + 1,
-                kernel=self.config.vivaldi_kernel,
-            )
-            system.restore_state(
-                entry.arrays["coordinates"],
-                entry.arrays["errors"],
-                float(entry.meta["simulation_time"]),
-            )
-            return system
-
-        restored = self._restore_cached("vivaldi", params, _restore_vivaldi)
-        if restored is not None:
-            self._vivaldi = restored
-            return restored
-        system = VivaldiSystem(
-            self.matrix,
-            VivaldiConfig(),
-            rng=self.config.seed + 1,
-            kernel=self.config.vivaldi_kernel,
-        )
-        system.run(self.config.vivaldi_seconds)
-        self._vivaldi = system
-        if self.cache is not None:
-            self.cache.store(
-                "vivaldi",
-                params,
-                {"coordinates": system.coordinates, "errors": system.errors},
-                meta={"simulation_time": system.simulation_time},
-            )
-        return system
+        return self.materialize(ArtifactKey("vivaldi"))
 
     @property
-    def alert(self) -> TIVAlert:
+    def alert(self):
         """The TIV alert built from the converged Vivaldi embedding."""
-        if self._alert is not None:
-            return self._alert
-        params = self._embedding_params()
-        restored = self._restore_cached(
-            "alert",
-            params,
-            lambda entry: TIVAlert.from_ratio_matrix(
-                self.matrix, entry.arrays["ratios"], entry.arrays["predicted"]
-            ),
-        )
-        if restored is not None:
-            self._alert = restored
-            return restored
-        alert = TIVAlert(self.matrix, self.vivaldi)
-        self._alert = alert
-        if self.cache is not None:
-            self.cache.store(
-                "alert",
-                params,
-                {"ratios": alert.ratio_matrix, "predicted": alert.predicted_matrix},
-            )
-        return alert
+        return self.materialize(ArtifactKey("alert"))
 
     @property
-    def ides(self) -> IDESCoordinates:
-        """The Fig. 15 IDES strawman embedding (landmark count scales with n).
-
-        The landmark budget is 0.5 % of the nodes (at least 6), matching a
-        real IDES deployment's ~20 landmarks for a few thousand hosts.
-        """
-        if self._ides is not None:
-            return self._ides
-        params = self._ides_params()
-        restored = self._restore_cached(
-            "ides",
-            params,
-            lambda entry: IDESCoordinates(
-                entry.arrays["outgoing"],
-                entry.arrays["incoming"],
-                landmarks=[int(i) for i in entry.meta["landmarks"]],
-            ),
-        )
-        if restored is not None:
-            self._ides = restored
-            return restored
-        n_landmarks = max(6, round(0.005 * self.matrix.n_nodes))
-        ides = fit_ides(
-            self.matrix,
-            IDESConfig(method="svd", n_landmarks=n_landmarks),
-            rng=self.config.seed,
-            kernel=self.config.coords_kernel,
-        )
-        self._ides = ides
-        if self.cache is not None:
-            self.cache.store(
-                "ides",
-                params,
-                {"outgoing": ides.outgoing, "incoming": ides.incoming},
-                meta={"landmarks": list(ides.landmarks)},
-            )
-        return ides
+    def ides(self):
+        """The Fig. 15 IDES strawman embedding (landmark count scales with n)."""
+        return self.materialize(ArtifactKey("ides"))
 
     @property
-    def lat(self) -> LATCoordinates:
+    def lat(self):
         """The Fig. 16 Vivaldi+LAT strawman embedding."""
-        if self._lat is not None:
-            return self._lat
-        params = self._lat_params()
-        restored = self._restore_cached(
-            "lat",
-            params,
-            lambda entry: LATCoordinates(
-                entry.arrays["coordinates"], entry.arrays["adjustments"]
-            ),
-        )
-        if restored is not None:
-            self._lat = restored
-            return restored
-        lat = fit_lat(
-            self.vivaldi, rng=self.config.seed, kernel=self.config.coords_kernel
-        )
-        self._lat = lat
-        if self.cache is not None:
-            self.cache.store(
-                "lat",
-                params,
-                {"coordinates": lat.coordinates, "adjustments": lat.adjustments},
-            )
-        return lat
+        return self.materialize(ArtifactKey("lat"))
 
     # -- harness helpers -------------------------------------------------------
 
-    def selection_experiment(self) -> CoordinateSelectionExperiment:
+    def selection_experiment(self):
         """A §4.1 coordinate-selection experiment bound to this context."""
+        from repro.neighbor.selection import CoordinateSelectionExperiment
+
         return CoordinateSelectionExperiment(
             self.matrix,
             n_candidates=self.config.n_candidates,

@@ -1,23 +1,32 @@
-"""Parallel, cached execution engine for the figure experiments.
+"""Parallel, cached execution engine over the artifact graph.
 
-The 20 figure runners are independent of each other: they share expensive
-intermediates (delay matrix, TIV severities, shortest paths, the converged
-Vivaldi embedding, the TIV alert) but never each other's *results*.  The
-engine exploits both facts:
+The 20 figure runners are independent of each other, but they share
+expensive intermediates (delay matrices, TIV severities, shortest paths,
+the converged embeddings, the TIV alert).  Each runner declares the shared
+artifacts it touches at registration time
+(:func:`repro.experiments.registry.register_experiment`), and
+:func:`repro.artifacts.resolve_plan` closes those declarations over the
+node-declared dependencies into a schedulable DAG.  The engine executes
+that plan:
 
-* **Caching** — with a cache directory, the shared intermediates the
-  requested experiments need are materialised once up front (the engine's
-  warm phase) and persisted through
-  :class:`~repro.experiments.cache.ArtifactCache`; a second run of the same
-  configuration is served entirely from disk.
-* **Parallelism** — with ``jobs > 1`` the runners fan out across a
-  :class:`concurrent.futures.ProcessPoolExecutor`; each worker rehydrates
-  the shared artefacts from the on-disk cache instead of recomputing them.
+* **Caching** — with a cache directory every artifact is persisted through
+  :class:`~repro.experiments.cache.ArtifactCache`, content-addressed by the
+  node's declared parameters; a second run of the same configuration is
+  served entirely from disk.
+* **DAG-level parallelism** — with ``jobs > 1`` the engine schedules at
+  *artifact* granularity across one
+  :class:`concurrent.futures.ProcessPoolExecutor`: an artifact task is
+  released the moment its dependencies finish (independent embeddings of
+  the same dataset build concurrently), every artifact is computed exactly
+  once per run however many figures share it, and each figure task is
+  submitted as soon as its artifact closure is materialised — a slow
+  artifact chain never stalls unrelated figures.
 
 Every run produces a structured :class:`RunReport` (per-experiment
-wall-clock seconds and cache hit/miss counters) which ``repro run-all``
-serialises as ``BENCH_experiments.json``; the CI pipeline asserts a warm
-second run reports zero misses.
+wall-clock seconds and cache hit/miss counters, plus per-artifact
+compute/restore timings) which ``repro run-all`` serialises as
+``BENCH_experiments.json``; the CI pipeline asserts a warm second run
+reports zero misses.
 
 Determinism: every runner derives all randomness from the configuration
 seed, so sequential, parallel, cold-cache and warm-cache runs all produce
@@ -30,17 +39,19 @@ import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.artifacts.graph import ExecutionPlan, resolve_plan
+from repro.artifacts.nodes import ArtifactKey
 from repro.errors import ExperimentError
 from repro.experiments.cache import ArtifactCache, CacheStats, config_fingerprint
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.context import ExperimentContext
+from repro.experiments.context import ArtifactEvent, ExperimentContext
 from repro.experiments.result import ExperimentResult
 from repro.utils.io import write_json_report
 
@@ -49,48 +60,59 @@ PathLike = Union[str, Path]
 #: Schema identifier written into BENCH_experiments.json.
 REPORT_SCHEMA = "bench-experiments/v1"
 
-#: Shared artefacts each figure runner touches, used to scope the warm
-#: phase to what a ``--only`` subset actually needs.  ``"datasets"`` covers
-#: the four scaled measured-data presets plus their severities (Figs. 2,
-#: 4-7, 9); ``"euclidean"`` the TIV-free Fig. 14 baseline.  An experiment
-#: missing from this map warms everything — the safe default for future
-#: runners.
-_ALL_ARTIFACTS = frozenset(
-    {
-        "matrix",
-        "clusters",
-        "severity",
-        "shortest",
-        "vivaldi",
-        "alert",
-        "ides",
-        "lat",
-        "datasets",
-        "euclidean",
-    }
-)
-_ARTIFACT_NEEDS: dict[str, frozenset[str]] = {
-    "fig02": frozenset({"datasets"}),
-    "fig03": frozenset({"matrix", "clusters", "severity"}),
-    "fig04_07": frozenset({"datasets"}),
-    "fig08": frozenset({"matrix", "clusters", "shortest"}),
-    "fig09": frozenset({"datasets"}),
-    "fig10": frozenset(),
-    "fig11": frozenset({"matrix"}),
-    "text_3_2_1": frozenset({"matrix", "vivaldi"}),
-    "fig13": frozenset({"matrix"}),
-    "fig14": frozenset({"matrix", "euclidean"}),
-    "fig15": frozenset({"matrix", "vivaldi", "ides"}),
-    "fig16": frozenset({"matrix", "vivaldi", "lat"}),
-    "fig17": frozenset({"matrix", "severity", "vivaldi"}),
-    "fig18": frozenset({"matrix", "severity"}),
-    "fig19": frozenset({"matrix", "severity", "vivaldi", "alert"}),
-    "fig20": frozenset({"matrix", "severity", "vivaldi", "alert"}),
-    "fig21": frozenset({"matrix", "severity", "vivaldi", "alert"}),
-    "fig22_23": frozenset({"matrix", "severity"}),
-    "fig24": frozenset({"matrix", "vivaldi", "alert"}),
-    "fig25": frozenset({"matrix", "vivaldi", "alert"}),
-}
+
+@dataclass
+class ArtifactRecord:
+    """Aggregated materialisation accounting of one artifact address."""
+
+    artifact: str
+    node: str
+    kind: str
+    address: str
+    computes: int = 0
+    restores: int = 0
+    compute_seconds: float = 0.0
+    restore_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "artifact": self.artifact,
+            "node": self.node,
+            "kind": self.kind,
+            "address": self.address,
+            "computes": self.computes,
+            "restores": self.restores,
+            "compute_seconds": round(self.compute_seconds, 6),
+            "restore_seconds": round(self.restore_seconds, 6),
+        }
+
+
+def aggregate_artifact_events(events: Iterable[ArtifactEvent]) -> list[ArtifactRecord]:
+    """Fold raw materialisation events into one record per artifact address.
+
+    An artifact computed once in one worker and later restored by others
+    (its dependents rehydrating it from the cache) appears as a single row
+    with ``computes == 1`` and the restore count/time alongside — the
+    compute-exactly-once contract is directly readable off the report.
+    """
+    records: dict[str, ArtifactRecord] = {}
+    for event in events:
+        record = records.get(event.address)
+        if record is None:
+            record = ArtifactRecord(
+                artifact=event.artifact,
+                node=event.node,
+                kind=event.kind,
+                address=event.address,
+            )
+            records[event.address] = record
+        if event.outcome == "computed":
+            record.computes += 1
+            record.compute_seconds += event.wall_seconds
+        else:
+            record.restores += 1
+            record.restore_seconds += event.wall_seconds
+    return list(records.values())
 
 
 @dataclass(frozen=True)
@@ -117,13 +139,21 @@ class ExperimentRunRecord:
 
 @dataclass
 class RunReport:
-    """Structured report of one engine run (the BENCH_experiments.json payload)."""
+    """Structured report of one engine run (the BENCH_experiments.json payload).
+
+    ``shared`` accounts the artifact (warm) work.  In a sequential run its
+    ``wall_seconds`` is the elapsed in-process warm phase; in a parallel
+    run artifact tasks interleave with figure tasks across the pool, so it
+    is the *sum* of the individual task times — compare it across runs of
+    the same mode only (``wall_seconds`` here is always true elapsed time).
+    """
 
     config: dict[str, Any]
     jobs: int
     cache_dir: Optional[str]
     records: list[ExperimentRunRecord] = field(default_factory=list)
     shared: Optional[ExperimentRunRecord] = None
+    artifacts: list[ArtifactRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
 
     def total_cache(self) -> CacheStats:
@@ -147,6 +177,7 @@ class RunReport:
             "jobs": self.jobs,
             "cache_dir": self.cache_dir,
             "shared_precompute": self.shared.as_dict() if self.shared is not None else None,
+            "artifacts": [record.as_dict() for record in self.artifacts],
             "experiments": [record.as_dict() for record in self.records],
             "totals": {
                 "experiments": len(self.records),
@@ -154,6 +185,11 @@ class RunReport:
                 "experiment_seconds": round(
                     float(sum(r.wall_seconds for r in self.records)), 6
                 ),
+                "artifacts": {
+                    "materialized": len(self.artifacts),
+                    "computed": sum(r.computes for r in self.artifacts),
+                    "restored": sum(r.restores for r in self.artifacts),
+                },
                 "cache": total.as_dict(),
                 "all_cache_hits": self.all_cache_hits,
             },
@@ -217,7 +253,8 @@ def _run_in_worker(
 
     Module-level so it pickles under every multiprocessing start method.
     Each invocation builds a fresh context backed by the shared on-disk
-    cache; after the parent's warm phase every artefact access is a hit.
+    cache; the artifact scheduler only releases a figure once its closure
+    is materialised, so every artifact access here is a hit.
     """
     from repro.experiments.registry import run_experiment
 
@@ -228,6 +265,23 @@ def _run_in_worker(
     elapsed = time.perf_counter() - start
     stats = cache.stats.snapshot() if cache is not None else CacheStats()
     return experiment_id, result, elapsed, stats
+
+
+def _materialize_in_worker(
+    key: ArtifactKey, config: ExperimentConfig, cache_dir: str
+) -> tuple[ArtifactKey, float, CacheStats, list[ArtifactEvent]]:
+    """Materialise one artifact in a worker process.
+
+    The scheduler guarantees the artifact's dependencies are already on
+    disk, so the context restores them and computes (then stores) only the
+    target.  Module-level so it pickles under every start method.
+    """
+    cache = ArtifactCache(cache_dir)
+    context = ExperimentContext(config, cache=cache)
+    start = time.perf_counter()
+    context.materialize(key)
+    elapsed = time.perf_counter() - start
+    return key, elapsed, cache.stats.snapshot(), context.drain_events()
 
 
 class ExperimentEngine:
@@ -243,7 +297,7 @@ class ExperimentEngine:
         single context), ``0``/``None`` uses one worker per CPU.
     cache_dir:
         Directory of the on-disk artifact cache; ``None`` disables
-        persistence.  An uncached parallel run still shares artefacts
+        persistence.  An uncached parallel run still shares artifacts
         through a temporary scratch cache (deleted afterwards), since
         worker processes have no shared memory.
     """
@@ -264,7 +318,7 @@ class ExperimentEngine:
         wanted = resolve_experiment_ids(only)
 
         started = time.perf_counter()
-        # Worker processes can only share artefacts through the disk cache,
+        # Worker processes can only share artifacts through the disk cache,
         # so an uncached parallel run would recompute the whole shared
         # pipeline once per experiment.  Give it a scratch cache instead,
         # deleted when the run finishes.
@@ -276,24 +330,28 @@ class ExperimentEngine:
         cache = ArtifactCache(effective_cache_dir) if effective_cache_dir is not None else None
 
         try:
-            # Warm the shared artefacts once in the parent.  A sequential
-            # run only needs this for a full sweep (its single context is
-            # reused across experiments either way); parallel workers cannot
-            # share memory, so they always rely on the warmed disk cache
-            # instead of racing to compute the same matrix/embedding.
-            shared_record: Optional[ExperimentRunRecord] = None
-            warm_context: Optional[ExperimentContext] = None
-            if cache is not None and (only is None or self.jobs > 1):
-                shared_record, warm_context = self.warm(cache, wanted)
-
             if self.jobs == 1:
-                results, records, first_exc = self._run_sequential(
+                # A sequential full sweep materialises the graph up front
+                # (the shared phase of the report); a sequential subset run
+                # simply lets its single shared context resolve artifacts
+                # lazily — same work either way.
+                shared_record: Optional[ExperimentRunRecord] = None
+                warm_context: Optional[ExperimentContext] = None
+                artifact_events: list[ArtifactEvent] = []
+                if cache is not None and only is None:
+                    shared_record, warm_context, artifact_events = self.warm(cache, wanted)
+                results, records, first_exc, figure_events = self._run_sequential(
                     wanted, cache, warm_context
                 )
+                artifact_events = artifact_events + figure_events
             else:
-                results, records, first_exc = self._run_parallel(
-                    wanted, effective_cache_dir
-                )
+                (
+                    results,
+                    records,
+                    shared_record,
+                    artifact_events,
+                    first_exc,
+                ) = self._run_parallel(wanted, effective_cache_dir)
         finally:
             if ephemeral_dir is not None:
                 shutil.rmtree(ephemeral_dir, ignore_errors=True)
@@ -304,6 +362,7 @@ class ExperimentEngine:
             cache_dir=self.cache_dir,
             records=records,
             shared=shared_record,
+            artifacts=aggregate_artifact_events(artifact_events),
             wall_seconds=time.perf_counter() - started,
         )
         failures = {
@@ -315,107 +374,42 @@ class ExperimentEngine:
             results=results, report=report, failures=failures, first_exception=first_exc
         )
 
-    def _shared_entry_keys(self, needs: set[str]) -> list[tuple[str, dict]]:
-        """The ``(kind, params)`` cache addresses the warm phase would touch.
-
-        Derived from a throwaway context so the addresses always match the
-        ones :class:`ExperimentContext` actually uses.
-        """
-        from repro.experiments.tiv_figures import DATASET_PRESETS, dataset_sizes
-
-        cfg = self.config
-        probe = ExperimentContext(cfg)
-        base = probe._matrix_params(cfg.dataset, cfg.n_nodes)
-        kinds_on_base = {
-            "matrix": "dataset",
-            "clusters": "clusters",
-            "severity": "severity",
-            "shortest": "shortest_path",
-        }
-        entries = [(kind, base) for need, kind in kinds_on_base.items() if need in needs]
-        entries += [
-            (kind, probe._embedding_params()) for kind in ("vivaldi", "alert") if kind in needs
-        ]
-        if "ides" in needs:
-            entries.append(("ides", probe._ides_params()))
-        if "lat" in needs:
-            entries.append(("lat", probe._lat_params()))
-        if "datasets" in needs:
-            sizes = dataset_sizes(cfg)
-            for name, preset in DATASET_PRESETS.items():
-                params = probe._matrix_params(preset, sizes[name])
-                entries += [("dataset", params), ("severity", params)]
-        if "euclidean" in needs:
-            entries.append(("dataset", probe._matrix_params("euclidean_like", cfg.n_nodes)))
-        return entries
-
     def warm(
         self, cache: ArtifactCache, wanted: list[str]
-    ) -> tuple[ExperimentRunRecord, Optional[ExperimentContext]]:
-        """Materialise the shared artefacts ``wanted`` needs.
+    ) -> tuple[ExperimentRunRecord, Optional[ExperimentContext], list[ArtifactEvent]]:
+        """Materialise the artifact graph ``wanted`` resolves to, in-process.
 
-        Called by :meth:`run` in the parent process, and directly by the
-        scenario-matrix runner to warm several scenarios' artefacts
-        concurrently (one engine per scenario, inside workers).
+        Used by the sequential path of :meth:`run` (and directly by tests
+        pinning the declared requirements to runner reality); the parallel
+        path schedules the same graph across the worker pool instead.
         """
-        from repro.experiments.tiv_figures import DATASET_PRESETS, dataset_sizes
-
-        needs: set[str] = set()
-        for experiment_id in wanted:
-            needs |= _ARTIFACT_NEEDS.get(experiment_id, _ALL_ARTIFACTS)
-
-        # Parallel workers rebuild their own contexts from disk, so when
-        # every needed entry is already cached the parent would decompress
-        # everything into a context nobody reuses — skip that.
-        if self.jobs > 1 and all(
-            cache.contains(kind, params) for kind, params in self._shared_entry_keys(needs)
-        ):
-            return ExperimentRunRecord(experiment_id="__shared__", wall_seconds=0.0), None
-
+        plan = resolve_plan(self.config, wanted)
         before = cache.stats.snapshot()
         start = time.perf_counter()
         context = ExperimentContext(self.config, cache=cache)
-        if "matrix" in needs:
-            _ = context.matrix
-        if "clusters" in needs:
-            _ = context.cluster_assignment
-        if "severity" in needs:
-            _ = context.severity
-        if "shortest" in needs:
-            _ = context.shortest_paths
-        if "vivaldi" in needs:
-            _ = context.vivaldi
-        if "alert" in needs:
-            _ = context.alert
-        if "ides" in needs:
-            _ = context.ides
-        if "lat" in needs:
-            _ = context.lat
-        if "datasets" in needs:
-            # The multi-dataset figures (2, 4-7, 9) sweep scaled variants
-            # of all four measured data sets.
-            sizes = dataset_sizes(self.config)
-            for name, preset in DATASET_PRESETS.items():
-                context.dataset_matrix(preset, sizes[name])
-                context.dataset_severity(preset, sizes[name])
-        if "euclidean" in needs:
-            context.dataset_matrix("euclidean_like", self.config.n_nodes)
+        for key in plan.graph.topological_order():
+            context.materialize(key)
         record = ExperimentRunRecord(
             experiment_id="__shared__",
             wall_seconds=time.perf_counter() - start,
             cache=cache.stats.since(before),
         )
-        return record, context
+        return record, context, context.drain_events()
 
     def _run_sequential(
         self,
         wanted: list[str],
         cache: ArtifactCache | None,
         context: ExperimentContext | None = None,
-    ) -> tuple[dict[str, ExperimentResult], list[ExperimentRunRecord], BaseException | None]:
+    ) -> tuple[
+        dict[str, ExperimentResult],
+        list[ExperimentRunRecord],
+        BaseException | None,
+        list[ArtifactEvent],
+    ]:
         from repro.experiments.registry import run_experiment
 
-        # Reuse the warm phase's context when there is one: its artefacts
+        # Reuse the warm phase's context when there is one: its artifacts
         # are already in memory, so re-reading them from disk would only
         # duplicate I/O.
         if context is None:
@@ -443,44 +437,347 @@ class ExperimentEngine:
                     error=error,
                 )
             )
-        return results, records, first_exc
+        return results, records, first_exc, context.drain_events()
 
     def _run_parallel(
-        self, wanted: list[str], cache_dir: Optional[str]
-    ) -> tuple[dict[str, ExperimentResult], list[ExperimentRunRecord], BaseException | None]:
-        results: dict[str, ExperimentResult] = {}
-        records_by_id: dict[str, ExperimentRunRecord] = {}
-        first_exc: BaseException | None = None
-        max_workers = min(self.jobs, max(1, len(wanted)))
+        self, wanted: list[str], cache_dir: str
+    ) -> tuple[
+        dict[str, ExperimentResult],
+        list[ExperimentRunRecord],
+        ExperimentRunRecord,
+        list[ArtifactEvent],
+        BaseException | None,
+    ]:
+        """Schedule artifacts, then figures, over one pool by dependency frontier."""
+        plan = resolve_plan(self.config, wanted)
+        tasks = plan_artifact_tasks(plan, tag="")
+        scheduler = FrontierScheduler(
+            tasks=tasks,
+            configs={"": self.config},
+            figure_grid=[("", experiment_id) for experiment_id in wanted],
+            figure_needs={
+                ("", eid): plan_figure_addresses(plan, eid) for eid in wanted
+            },
+            cache_dir=cache_dir,
+            jobs=self.jobs,
+        )
+        scheduler.execute()
+        results = {
+            eid: scheduler.results[("", eid)]
+            for eid in wanted
+            if ("", eid) in scheduler.results
+        }
+        records = [scheduler.figure_records[("", eid)] for eid in wanted]
+        return (
+            results,
+            records,
+            scheduler.shared_record(""),
+            scheduler.owner_events(""),
+            scheduler.tag_exception(""),
+        )
+
+
+@dataclass(frozen=True)
+class ArtifactTask:
+    """One schedulable artifact materialisation, identified by cache address.
+
+    The *address* — not the :class:`ArtifactKey` — is the unit of
+    deduplication: two scenarios resolving the same key to the same
+    parameters describe the same bytes on disk, so the scheduler computes
+    them once and charges the first declarer (``owner``).
+    """
+
+    address: str
+    key: ArtifactKey
+    owner: str
+    kind: str
+    params: dict
+    deps: tuple[str, ...]  # dependency cache addresses
+
+    @property
+    def label(self) -> str:
+        return self.key.label
+
+
+def plan_artifact_tasks(plan: ExecutionPlan, *, tag: str) -> dict[str, ArtifactTask]:
+    """Address-keyed artifact tasks of one plan, in topological order."""
+    tasks: dict[str, ArtifactTask] = {}
+    graph = plan.graph
+    for key in graph.topological_order():
+        artifact = graph[key]
+        if artifact.address in tasks:
+            continue
+        tasks[artifact.address] = ArtifactTask(
+            address=artifact.address,
+            key=key,
+            owner=tag,
+            kind=artifact.kind,
+            params=artifact.params,
+            deps=tuple(graph[dep].address for dep in artifact.deps),
+        )
+    return tasks
+
+
+def plan_figure_addresses(plan: ExecutionPlan, experiment_id: str) -> frozenset[str]:
+    """The cache addresses of one figure's artifact closure."""
+    return frozenset(plan.graph[key].address for key in plan.figure_needs[experiment_id])
+
+
+class FrontierScheduler:
+    """DAG-frontier execution of artifact + figure tasks over one pool.
+
+    Shared by the engine (single configuration) and the scenario-matrix
+    runner (one configuration per scenario, with cross-scenario artifacts
+    deduplicated by cache address before scheduling): an artifact task is
+    released the moment its last dependency lands on disk, each figure
+    task the moment its artifact closure is materialised, and every
+    artifact address is computed at most once per run.
+
+    Parameters
+    ----------
+    tasks:
+        Address-keyed artifact tasks in topological order (a dependency's
+        address precedes its dependents'); addresses already materialised
+        in the cache are skipped, which is what makes a warm rerun submit
+        zero artifact work.
+    configs:
+        Configuration per scenario tag (the engine uses the single tag
+        ``""``); each task's worker runs under its owner's configuration.
+    figure_grid:
+        Ordered ``(tag, experiment_id)`` figure tasks.
+    figure_needs:
+        Artifact closure (as addresses) per figure task.
+    """
+
+    def __init__(
+        self,
+        *,
+        tasks: Mapping[str, ArtifactTask],
+        configs: Mapping[str, ExperimentConfig],
+        figure_grid: list[tuple[str, str]],
+        figure_needs: Mapping[tuple[str, str], frozenset[str]],
+        cache_dir: str,
+        jobs: int,
+    ):
+        self.tasks = dict(tasks)
+        self.configs = dict(configs)
+        self.figure_grid = list(figure_grid)
+        self.figure_needs = dict(figure_needs)
+        self.cache_dir = str(cache_dir)
+        self.jobs = jobs
+
+        self.results: dict[tuple[str, str], ExperimentResult] = {}
+        self.figure_records: dict[tuple[str, str], ExperimentRunRecord] = {}
+        # First exception per scenario tag: a shared artifact's failure is
+        # charged to every scenario it broke, not just the owner, so each
+        # scenario's outcome chains a cause that actually affected it.
+        self._tag_exceptions: dict[str, BaseException] = {}
+        self._owner_events: dict[str, list[ArtifactEvent]] = {tag: [] for tag in configs}
+        self._owner_stats: dict[str, CacheStats] = {tag: CacheStats() for tag in configs}
+        self._owner_wall: dict[str, float] = {tag: 0.0 for tag in configs}
+        self._owner_errors: dict[str, list[str]] = {tag: [] for tag in configs}
+
+    def tag_exception(self, tag: str) -> BaseException | None:
+        """The first exception that affected ``tag``'s artifacts or figures."""
+        return self._tag_exceptions.get(tag)
+
+    @property
+    def first_exception(self) -> BaseException | None:
+        """The first exception of the whole run (any tag), or ``None``."""
+        return next(iter(self._tag_exceptions.values()), None)
+
+    def shared_record(self, tag: str) -> ExperimentRunRecord:
+        """The ``__shared__`` report record of one scenario's artifact tasks.
+
+        ``wall_seconds`` is the *summed* wall-clock of the tag's artifact
+        tasks — they run concurrently with each other and with figure
+        tasks, so no distinct shared-phase elapsed time exists (the run
+        report's top-level ``wall_seconds`` carries the true wall-clock).
+        """
+        errors = self._owner_errors[tag]
+        return ExperimentRunRecord(
+            experiment_id="__shared__",
+            wall_seconds=self._owner_wall[tag],
+            cache=self._owner_stats[tag],
+            status="ok" if not errors else "error",
+            error="; ".join(errors),
+        )
+
+    def owner_events(self, tag: str) -> list[ArtifactEvent]:
+        """Materialisation events of the artifact tasks charged to ``tag``."""
+        return list(self._owner_events[tag])
+
+    def execute(self) -> None:
+        cache = ArtifactCache(self.cache_dir)
+        to_compute = [
+            address
+            for address, task in self.tasks.items()
+            if not cache.contains(task.kind, task.params)
+        ]
+        pending = set(to_compute)
+        dep_left = {
+            address: sum(1 for dep in self.tasks[address].deps if dep in pending)
+            for address in to_compute
+        }
+        dependents: dict[str, list[str]] = {address: [] for address in to_compute}
+        for address in to_compute:
+            for dep in self.tasks[address].deps:
+                if dep in pending:
+                    dependents[dep].append(address)
+        figure_left = {
+            task: sum(1 for address in self.figure_needs[task] if address in pending)
+            for task in self.figure_grid
+        }
+        failed: dict[str, str] = {}
+        submitted_artifacts: set[str] = set()
+        submitted_figures: set[tuple[str, str]] = set()
+
+        max_workers = min(self.jobs, max(1, len(self.figure_grid) + len(to_compute)))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = {
-                pool.submit(_run_in_worker, experiment_id, self.config, cache_dir):
-                    experiment_id
-                for experiment_id in wanted
-            }
-            done, _ = wait(futures)
-            for future in done:
-                error = future.exception()
-                if error is not None:
-                    # A BrokenProcessPool poisons every future with the same
-                    # exception; recording it per-experiment keeps the
-                    # report complete either way.
-                    first_exc = error if first_exc is None else first_exc
-                    records_by_id[futures[future]] = ExperimentRunRecord(
-                        experiment_id=futures[future],
-                        wall_seconds=0.0,
-                        status="error",
-                        error=f"{type(error).__name__}: {error}",
-                    )
-                    continue
-                experiment_id, result, elapsed, stats = future.result()
-                results[experiment_id] = result
-                records_by_id[experiment_id] = ExperimentRunRecord(
-                    experiment_id=experiment_id, wall_seconds=elapsed, cache=stats
+            futures: dict[Any, tuple[str, Any]] = {}
+
+            def record_figure_failure(task: tuple[str, str], message: str) -> None:
+                self.figure_records[task] = ExperimentRunRecord(
+                    experiment_id=task[1],
+                    wall_seconds=0.0,
+                    status="error",
+                    error=message,
                 )
-        ordered_results = {eid: results[eid] for eid in wanted if eid in results}
-        ordered_records = [records_by_id[eid] for eid in wanted]
-        return ordered_results, ordered_records, first_exc
+
+            def fail_artifact(
+                address: str, message: str, exc: BaseException | None = None
+            ) -> None:
+                """Mark an artifact failed and cascade to dependents/figures."""
+                stack = [(address, message)]
+                while stack:
+                    current, current_message = stack.pop()
+                    if current in failed:
+                        continue
+                    failed[current] = current_message
+                    task = self.tasks[current]
+                    self._owner_errors[task.owner].append(
+                        f"{task.label}: {current_message}"
+                    )
+                    if exc is not None:
+                        self._tag_exceptions.setdefault(task.owner, exc)
+                    downstream = f"artifact {task.label} failed: {current_message}"
+                    for dependent in dependents.get(current, ()):
+                        if dependent not in submitted_artifacts:
+                            stack.append((dependent, downstream))
+                    for figure_task in self.figure_grid:
+                        if (
+                            figure_task in submitted_figures
+                            or figure_task in self.figure_records
+                        ):
+                            continue
+                        if current in self.figure_needs[figure_task]:
+                            record_figure_failure(
+                                figure_task,
+                                f"shared artifact {task.label} failed: {current_message}",
+                            )
+                            if exc is not None:
+                                self._tag_exceptions.setdefault(figure_task[0], exc)
+
+            def submit_ready() -> None:
+                for address in to_compute:
+                    if (
+                        address in submitted_artifacts
+                        or address in failed
+                        or dep_left[address] > 0
+                    ):
+                        continue
+                    task = self.tasks[address]
+                    try:
+                        future = pool.submit(
+                            _materialize_in_worker,
+                            task.key,
+                            self.configs[task.owner],
+                            self.cache_dir,
+                        )
+                    except Exception as exc:
+                        # A broken pool (e.g. an OOM-killed worker) makes
+                        # further submissions raise; record the failure so
+                        # the report-before-raise contract survives.
+                        fail_artifact(address, f"{type(exc).__name__}: {exc}", exc)
+                        continue
+                    submitted_artifacts.add(address)
+                    futures[future] = ("artifact", address)
+                for figure_task in self.figure_grid:
+                    if (
+                        figure_task in submitted_figures
+                        or figure_task in self.figure_records
+                        or figure_left[figure_task] > 0
+                    ):
+                        continue
+                    tag, experiment_id = figure_task
+                    try:
+                        future = pool.submit(
+                            _run_in_worker, experiment_id, self.configs[tag], self.cache_dir
+                        )
+                    except Exception as exc:
+                        self._tag_exceptions.setdefault(figure_task[0], exc)
+                        record_figure_failure(
+                            figure_task, f"{type(exc).__name__}: {exc}"
+                        )
+                        continue
+                    submitted_figures.add(figure_task)
+                    futures[future] = ("figure", figure_task)
+
+            def artifact_done(address: str) -> None:
+                for dependent in dependents.get(address, ()):
+                    dep_left[dependent] -= 1
+                for figure_task in self.figure_grid:
+                    if address in self.figure_needs[figure_task]:
+                        figure_left[figure_task] -= 1
+
+            submit_ready()
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task_type, payload = futures.pop(future)
+                    error = future.exception()
+                    if task_type == "artifact":
+                        address = payload
+                        if error is not None:
+                            fail_artifact(
+                                address, f"{type(error).__name__}: {error}", error
+                            )
+                            continue
+                        _, elapsed, stats, events = future.result()
+                        owner = self.tasks[address].owner
+                        self._owner_wall[owner] += elapsed
+                        self._owner_stats[owner].merge(stats)
+                        self._owner_events[owner].extend(events)
+                        artifact_done(address)
+                    else:
+                        if error is not None:
+                            # A BrokenProcessPool poisons every future with
+                            # the same exception; recording it per-experiment
+                            # keeps the report complete either way.
+                            self._tag_exceptions.setdefault(payload[0], error)
+                            record_figure_failure(
+                                payload, f"{type(error).__name__}: {error}"
+                            )
+                            continue
+                        _, result, elapsed, stats = future.result()
+                        self.results[payload] = result
+                        self.figure_records[payload] = ExperimentRunRecord(
+                            experiment_id=payload[1],
+                            wall_seconds=elapsed,
+                            cache=stats,
+                        )
+                submit_ready()
+
+            # Anything still unscheduled lost its dependency chain.
+            for address in to_compute:
+                if address not in submitted_artifacts and address not in failed:
+                    fail_artifact(address, "never became schedulable")
+            for figure_task in self.figure_grid:
+                if figure_task not in self.figure_records:
+                    record_figure_failure(
+                        figure_task,
+                        "shared artifact phase failed before this figure ran",
+                    )
 
 
 def run_experiments(

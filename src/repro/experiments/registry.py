@@ -1,13 +1,25 @@
-"""Registry of all experiment runners, keyed by figure id."""
+"""Registry of all experiment runners, keyed by figure id.
+
+Registration is *declarative*: every runner must declare the shared
+artifact requirements it touches (``needs=...`` — tokens validated against
+:data:`repro.artifacts.REQUIREMENTS` at registration time), because the
+engine schedules the artifact DAG from these declarations.  There is no
+"warm everything" fallback: an undeclared or misspelt requirement fails
+immediately at import, not silently at runtime — and a parametrized test
+(`tests/experiments/test_engine.py`) pins every declaration to the
+runner's real artifact usage.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.errors import ExperimentError
 
 if TYPE_CHECKING:
     from repro.experiments.context import ExperimentContext
+from repro.artifacts.nodes import REQUIREMENTS
 from repro.experiments.alert_figures import (
     fig19_severity_vs_ratio,
     fig20_alert_accuracy,
@@ -40,33 +52,83 @@ from repro.experiments.vivaldi_figures import (
 
 Runner = Callable[..., ExperimentResult]
 
-_REGISTRY: dict[str, Runner] = {
-    "fig02": fig02_severity_cdf,
-    "fig03": fig03_cluster_matrix,
-    "fig04_07": fig04_07_severity_vs_delay,
-    "fig08": fig08_shortest_path,
-    "fig09": fig09_proximity,
-    "fig10": fig10_three_node_trace,
-    "fig11": fig11_oscillation,
-    "text_3_2_1": text_vivaldi_error_stats,
-    "fig13": fig13_ring_misplacement,
-    "fig14": fig14_meridian_ideal,
-    "fig15": fig15_ides,
-    "fig16": fig16_lat,
-    "fig17": fig17_vivaldi_filter,
-    "fig18": fig18_meridian_filter,
-    "fig19": fig19_severity_vs_ratio,
-    "fig20": fig20_alert_accuracy,
-    "fig21": fig21_alert_recall,
-    "fig22_23": fig22_23_dynamic_neighbor,
-    "fig24": fig24_meridian_alert_normal,
-    "fig25": fig25_meridian_alert_small,
-}
+
+@dataclass(frozen=True)
+class RegisteredExperiment:
+    """One registered figure runner plus its declared artifact requirements."""
+
+    runner: Runner
+    needs: frozenset[str]
+
+
+_REGISTRY: dict[str, RegisteredExperiment] = {}
+
+
+def register_experiment(
+    experiment_id: str, runner: Runner, *, needs: Iterable[str]
+) -> None:
+    """Register a figure runner with its declared artifact requirements.
+
+    ``needs`` is mandatory and validated immediately: a new figure cannot
+    enter the registry without stating which shared artifacts it touches
+    (an empty iterable is a valid declaration — e.g. Fig. 10 builds its own
+    three-node system).  Unknown tokens raise at registration time.
+    """
+    if experiment_id in _REGISTRY:
+        raise ExperimentError(f"experiment {experiment_id!r} is already registered")
+    declared = frozenset(needs)
+    unknown = declared - REQUIREMENTS
+    if unknown:
+        raise ExperimentError(
+            f"experiment {experiment_id!r} declares unknown artifact "
+            f"requirement(s) {', '.join(map(repr, sorted(unknown)))}; "
+            f"known: {', '.join(sorted(REQUIREMENTS))}"
+        )
+    _REGISTRY[experiment_id] = RegisteredExperiment(runner=runner, needs=declared)
+
+
+for _experiment_id, _runner, _needs in (
+    ("fig02", fig02_severity_cdf, ("datasets",)),
+    ("fig03", fig03_cluster_matrix, ("matrix", "clusters", "severity")),
+    ("fig04_07", fig04_07_severity_vs_delay, ("datasets",)),
+    ("fig08", fig08_shortest_path, ("matrix", "clusters", "shortest")),
+    ("fig09", fig09_proximity, ("datasets",)),
+    ("fig10", fig10_three_node_trace, ()),
+    ("fig11", fig11_oscillation, ("matrix",)),
+    ("text_3_2_1", text_vivaldi_error_stats, ("matrix", "vivaldi")),
+    ("fig13", fig13_ring_misplacement, ("matrix",)),
+    ("fig14", fig14_meridian_ideal, ("matrix", "euclidean")),
+    ("fig15", fig15_ides, ("matrix", "vivaldi", "ides")),
+    ("fig16", fig16_lat, ("matrix", "vivaldi", "lat")),
+    ("fig17", fig17_vivaldi_filter, ("matrix", "severity", "vivaldi")),
+    ("fig18", fig18_meridian_filter, ("matrix", "severity")),
+    ("fig19", fig19_severity_vs_ratio, ("matrix", "severity", "vivaldi", "alert")),
+    ("fig20", fig20_alert_accuracy, ("matrix", "severity", "vivaldi", "alert")),
+    ("fig21", fig21_alert_recall, ("matrix", "severity", "vivaldi", "alert")),
+    ("fig22_23", fig22_23_dynamic_neighbor, ("matrix", "severity")),
+    ("fig24", fig24_meridian_alert_normal, ("matrix", "vivaldi", "alert")),
+    ("fig25", fig25_meridian_alert_small, ("matrix", "vivaldi", "alert")),
+):
+    register_experiment(_experiment_id, _runner, needs=_needs)
 
 
 def list_experiments() -> tuple[str, ...]:
     """Return the identifiers of all registered experiments."""
     return tuple(_REGISTRY)
+
+
+def _lookup(experiment_id: str) -> RegisteredExperiment:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def experiment_needs(experiment_id: str) -> frozenset[str]:
+    """The artifact requirement tokens ``experiment_id`` declared."""
+    return _lookup(experiment_id).needs
 
 
 def run_experiment(
@@ -94,14 +156,9 @@ def run_experiment(
         with a scenario already carried by ``config`` or ``context``.
     context:
         Optional shared :class:`~repro.experiments.context.ExperimentContext`
-        whose memoised/cached artefacts the runner should reuse.
+        whose memoised/cached artifacts the runner should reuse.
     """
-    try:
-        runner = _REGISTRY[experiment_id]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown experiment {experiment_id!r}; known: {', '.join(_REGISTRY)}"
-        ) from None
+    runner = _lookup(experiment_id).runner
     if scenario is not None:
         if context is not None:
             if context.config.scenario != scenario:
@@ -130,13 +187,14 @@ def run_all_experiments(
     """Run every registered experiment (or the subset in ``only``).
 
     Delegates to :class:`repro.experiments.engine.ExperimentEngine`:
-    ``jobs`` fans the runners out over worker processes and ``cache_dir``
-    persists the shared artefacts so repeated runs are incremental.  The
-    default (``jobs=1``, no cache) runs sequentially in-process with one
-    shared context.  ``scenario`` runs the whole sweep under a library
-    scenario with full scenario semantics (``size_factor`` scales the node
-    count); for a sweep over many scenarios use
-    :func:`repro.scenarios.runner.run_scenario_matrix` instead.
+    ``jobs`` fans the artifact DAG and the runners out over worker
+    processes and ``cache_dir`` persists the shared artifacts so repeated
+    runs are incremental.  The default (``jobs=1``, no cache) runs
+    sequentially in-process with one shared context.  ``scenario`` runs the
+    whole sweep under a library scenario with full scenario semantics
+    (``size_factor`` scales the node count); for a sweep over many
+    scenarios use :func:`repro.scenarios.runner.run_scenario_matrix`
+    instead.
     """
     from repro.experiments.engine import run_experiments
 

@@ -147,6 +147,18 @@ def _setup_shortest_paths(size: int, seed: int) -> tuple[PreparedKernel, float]:
     return (lambda: shortest_path_matrix(matrix)), float(size) * size
 
 
+def _setup_artifact_graph_resolve(size: int, seed: int) -> tuple[PreparedKernel, float]:
+    from repro.artifacts import resolve_plan
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.registry import list_experiments
+
+    config = ExperimentConfig(n_nodes=size, seed=seed)
+    wanted = list(list_experiments())
+    # One call = resolving the full figure suite's artifact DAG (the fixed
+    # per-run scheduling overhead of the engine); work = figures resolved.
+    return (lambda: resolve_plan(config, wanted)), float(len(wanted))
+
+
 def _setup_scenario_generation(size: int, seed: int) -> tuple[PreparedKernel, float]:
     from repro.scenarios.generators import load_scenario_dataset
     from repro.scenarios.library import get_scenario
@@ -237,6 +249,12 @@ _KERNELS: dict[str, KernelSpec] = {
             "heavy_tiv scenario dataset generation (synthesis + perturbations)",
             "edges/s",
             _setup_scenario_generation,
+        ),
+        KernelSpec(
+            "artifact_graph_resolve",
+            "full-suite artifact-DAG resolution (requirements -> addressed plan)",
+            "figures/s",
+            _setup_artifact_graph_resolve,
         ),
     )
 }

@@ -6,9 +6,12 @@ figure experiment once per scenario.  The scenario enters
 dimension, so all artefacts are content-addressed per scenario in the
 shared cache directory and a warm rerun of the whole matrix is served
 entirely from disk.  With ``jobs > 1`` the whole (scenario × figure) grid
-shares one worker pool: scenarios' warm phases materialise concurrently,
-then every figure task fans out, so the matrix itself — not just the
-figures within one scenario — parallelises.
+shares one worker pool and one *merged artifact frontier*: every
+scenario's artifact plan is resolved up front, deduplicated by cache
+address (a cross-scenario shared artifact is computed exactly once), and
+scheduled at artifact granularity, with each figure task released the
+moment its closure is materialised — so the matrix itself, not just the
+figures within one scenario, parallelises.
 
 The result is a :class:`ScenarioMatrixReport` — one ``bench-experiments``
 run report per scenario plus matrix-level totals — written as
@@ -24,15 +27,20 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence, Union
 
+from repro.artifacts.graph import ExecutionPlan, resolve_plan
 from repro.errors import ExperimentError
 from repro.experiments.cache import CacheStats, config_fingerprint
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.engine import (
+    ArtifactTask,
     EngineOutcome,
     ExperimentEngine,
     ExperimentRunRecord,
+    FrontierScheduler,
     RunReport,
-    _run_in_worker,
+    aggregate_artifact_events,
+    plan_artifact_tasks,
+    plan_figure_addresses,
     resolve_experiment_ids,
     resolve_jobs,
 )
@@ -157,20 +165,6 @@ class ScenarioMatrixReport:
         write_json_report(path, self.as_dict())
 
 
-def _warm_scenario_in_worker(
-    config: ExperimentConfig, cache_dir: str, wanted: list[str], jobs: int
-) -> ExperimentRunRecord:
-    """Warm one scenario's shared artefacts inside a worker process.
-
-    Module-level so it pickles under every multiprocessing start method.
-    """
-    from repro.experiments.cache import ArtifactCache
-
-    engine = ExperimentEngine(config, jobs=jobs, cache_dir=cache_dir)
-    record, _ = engine.warm(ArtifactCache(cache_dir), wanted)
-    return record
-
-
 def _warm_failure_records(
     wanted: list[str], exc: BaseException
 ) -> tuple[ExperimentRunRecord, list[ExperimentRunRecord]]:
@@ -230,94 +224,71 @@ def _run_matrix_parallel(
 ) -> dict[str, EngineOutcome]:
     """Fan the whole (scenario × figure) grid out over one worker pool.
 
-    One pool serves both phases, pipelined: every scenario's warm phase is
-    submitted up front (scenarios' shared artefacts are independent, so
-    they materialise concurrently), and each scenario's figure tasks are
-    submitted the moment *its* warm phase completes — a slow scenario never
-    stalls the others' figures.  Workers share the artefacts through the
-    on-disk cache exactly as in a single-scenario engine run, and results
-    are bit-identical to the sequential path.
+    Every scenario's artifact plan is resolved up front and merged into a
+    *single shared frontier*, deduplicated by cache address: an artifact
+    two scenarios both need (e.g. a no-op scenario and a replication of it,
+    or any pair resolving to identical generation parameters) is computed
+    exactly once and charged to the first scenario that declared it.  The
+    :class:`~repro.experiments.engine.FrontierScheduler` then releases each
+    artifact task the moment its dependencies land on disk and each figure
+    task the moment its scenario's closure is materialised — a slow
+    scenario never stalls the others' figures, and independent artifacts of
+    the *same* scenario (the embeddings, the preset matrices) build
+    concurrently too.  Results are bit-identical to the sequential path.
 
-    A scenario whose warm phase fails (a broken generator/configuration)
-    is recorded — its shared record and every figure carry the error — and
-    the rest of the matrix proceeds, preserving the caller's
-    report-before-raise contract.
+    A scenario whose resolution or artifact chain fails (a broken
+    generator/configuration) is recorded — its shared record and every
+    affected figure carry the error — and the rest of the matrix proceeds,
+    preserving the caller's report-before-raise contract.
     """
-    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-
     cache_dir = str(cache_dir)
     configs = {scenario.name: scenario_config(base, scenario) for scenario in selected}
 
-    warm_records: dict[str, ExperimentRunRecord] = {}
-    results: dict[str, dict[str, Any]] = {name: {} for name in configs}
-    figure_records: dict[str, dict[str, ExperimentRunRecord]] = {name: {} for name in configs}
-    first_exc: dict[str, BaseException] = {}
+    plans: dict[str, ExecutionPlan] = {}
+    resolution_failures: dict[str, Exception] = {}
+    for name, config in configs.items():
+        try:
+            plans[name] = resolve_plan(config, wanted)
+        except Exception as exc:
+            resolution_failures[name] = exc
 
-    max_workers = min(worker_count, max(1, len(configs) * len(wanted)))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        warm_futures = {
-            pool.submit(
-                _warm_scenario_in_worker, config, cache_dir, wanted, worker_count
-            ): name
-            for name, config in configs.items()
-        }
-        figure_futures: dict = {}
-        pending = set(warm_futures)
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                name = warm_futures[future]
-                error = future.exception()
-                if error is not None:
-                    first_exc.setdefault(name, error)
-                    shared, failed = _warm_failure_records(wanted, error)
-                    warm_records[name] = shared
-                    for record in failed:
-                        figure_records[name][record.experiment_id] = record
-                    continue
-                warm_records[name] = future.result()
-                for experiment_id in wanted:
-                    try:
-                        submitted = pool.submit(
-                            _run_in_worker, experiment_id, configs[name], cache_dir
-                        )
-                    except Exception as submit_error:
-                        # A broken pool (e.g. an OOM-killed worker) makes
-                        # further submissions raise; record the failure so
-                        # the report-before-raise contract survives.
-                        first_exc.setdefault(name, submit_error)
-                        figure_records[name][experiment_id] = ExperimentRunRecord(
-                            experiment_id=experiment_id,
-                            wall_seconds=0.0,
-                            status="error",
-                            error=f"{type(submit_error).__name__}: {submit_error}",
-                        )
-                        continue
-                    figure_futures[submitted] = (name, experiment_id)
-
-        done, _ = wait(figure_futures)
-        for future in done:
-            name, experiment_id = figure_futures[future]
-            error = future.exception()
-            if error is not None:
-                first_exc.setdefault(name, error)
-                figure_records[name][experiment_id] = ExperimentRunRecord(
-                    experiment_id=experiment_id,
-                    wall_seconds=0.0,
-                    status="error",
-                    error=f"{type(error).__name__}: {error}",
-                )
-                continue
-            _, result, elapsed, stats = future.result()
-            results[name][experiment_id] = result
-            figure_records[name][experiment_id] = ExperimentRunRecord(
-                experiment_id=experiment_id, wall_seconds=elapsed, cache=stats
+    tasks: dict[str, ArtifactTask] = {}
+    figure_grid: list[tuple[str, str]] = []
+    figure_needs: dict[tuple[str, str], frozenset[str]] = {}
+    for name, plan in plans.items():
+        for address, task in plan_artifact_tasks(plan, tag=name).items():
+            tasks.setdefault(address, task)
+        for experiment_id in wanted:
+            figure_grid.append((name, experiment_id))
+            figure_needs[(name, experiment_id)] = plan_figure_addresses(
+                plan, experiment_id
             )
+
+    scheduler = FrontierScheduler(
+        tasks=tasks,
+        configs={name: configs[name] for name in plans},
+        figure_grid=figure_grid,
+        figure_needs=figure_needs,
+        cache_dir=cache_dir,
+        jobs=worker_count,
+    )
+    scheduler.execute()
 
     outcomes: dict[str, EngineOutcome] = {}
     for name, config in configs.items():
-        ordered = [figure_records[name][experiment_id] for experiment_id in wanted]
-        shared = warm_records[name]
+        if name in resolution_failures:
+            outcomes[name] = _failed_outcome(
+                config,
+                wanted,
+                resolution_failures[name],
+                jobs=worker_count,
+                cache_dir=report_cache_dir,
+            )
+            continue
+        ordered = [
+            scheduler.figure_records[(name, experiment_id)] for experiment_id in wanted
+        ]
+        shared = scheduler.shared_record(name)
         report = RunReport(
             config=config_fingerprint(config),
             jobs=worker_count,
@@ -327,6 +298,10 @@ def _run_matrix_parallel(
             cache_dir=report_cache_dir,
             records=ordered,
             shared=shared,
+            # Cross-scenario shared artifacts are charged to their first
+            # declarer, so a scenario arriving second sees them as figure
+            # cache hits rather than shared-phase work.
+            artifacts=aggregate_artifact_events(scheduler.owner_events(name)),
             # No per-scenario wall-clock exists when scenarios interleave
             # on one pool; report the scenario's summed task time (the
             # matrix report carries the true overall wall-clock).
@@ -338,15 +313,16 @@ def _run_matrix_parallel(
             for record in ordered
             if record.status != "ok"
         }
+        first_exception = scheduler.tag_exception(name)
         outcomes[name] = EngineOutcome(
             results={
-                experiment_id: results[name][experiment_id]
+                experiment_id: scheduler.results[(name, experiment_id)]
                 for experiment_id in wanted
-                if experiment_id in results[name]
+                if (name, experiment_id) in scheduler.results
             },
             report=report,
             failures=failures,
-            first_exception=first_exc.get(name),
+            first_exception=first_exception,
         )
     return outcomes
 

@@ -1,0 +1,143 @@
+"""Tests for ``repro cache prune`` (repro.artifacts.prune)."""
+
+import json
+
+import numpy as np
+
+from repro.artifacts import ArtifactKey, prune_cache
+from repro.experiments.cache import ArtifactCache, stable_key
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+TINY = ExperimentConfig(n_nodes=24, vivaldi_seconds=2)
+
+
+def _populate(cache_dir):
+    cache = ArtifactCache(cache_dir)
+    context = ExperimentContext(TINY, cache=cache)
+    _ = context.severity
+    _ = context.vivaldi
+    return cache
+
+
+class TestLiveEntriesSurvive:
+    def test_live_cache_is_untouched(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _populate(cache_dir)
+        report = prune_cache(cache_dir)
+        assert report.pruned == []
+        assert report.kept >= 3
+        # Everything still hits afterwards.
+        counting = ArtifactCache(cache_dir)
+        fresh = ExperimentContext(TINY, cache=counting)
+        _ = fresh.severity
+        _ = fresh.vivaldi
+        assert counting.stats.misses == 0
+        assert counting.stats.hits >= 3
+
+    def test_missing_root_is_a_noop(self, tmp_path):
+        report = prune_cache(tmp_path / "nope")
+        assert report.scanned == 0
+
+
+class TestStaleEraEviction:
+    def test_pre_kernel_era_entry_is_pruned(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = ArtifactCache(cache_dir)
+        # A vivaldi entry written before the kernel switch existed: its
+        # params lack the "kernel" key every live entry now carries.
+        old_params = {"preset": "ds2_like", "n_nodes": 24, "seed": 0, "vivaldi_seconds": 2}
+        cache.store(
+            "vivaldi",
+            old_params,
+            {"coordinates": np.zeros((24, 3)), "errors": np.ones(24)},
+            meta={"simulation_time": 2.0},
+        )
+        report = prune_cache(cache_dir)
+        assert [entry.reason for entry in report.pruned] == [
+            "pre-'kernel'-era entry (parameter absent)"
+        ]
+        assert not list((cache_dir / "vivaldi").iterdir())
+
+    def test_retired_kernel_value_is_pruned(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = ArtifactCache(cache_dir)
+        params = {"preset": "ds2_like", "n_nodes": 24, "seed": 0, "kernel": "turbo"}
+        cache.store("ides", params, {"outgoing": np.zeros((24, 4)), "incoming": np.zeros((24, 4))})
+        report = prune_cache(cache_dir)
+        assert len(report.pruned) == 1
+        assert "retired 'kernel' value" in report.pruned[0].reason
+
+    def test_retired_schema_address_is_pruned(self, tmp_path):
+        # An entry whose stored params no longer hash to its file name was
+        # written under a different CACHE_SCHEMA tag.
+        cache_dir = tmp_path / "cache" / "dataset"
+        cache_dir.mkdir(parents=True)
+        params = {"preset": "ds2_like", "n_nodes": 24, "seed": 0}
+        stale_name = "0" * 32
+        assert stable_key("dataset", params) != stale_name
+        (cache_dir / f"{stale_name}.json").write_text(
+            json.dumps({"kind": "dataset", "params": params, "meta": {}}),
+            encoding="utf-8",
+        )
+        (cache_dir / f"{stale_name}.npz").write_bytes(b"whatever")
+        report = prune_cache(cache_dir.parent)
+        assert len(report.pruned) == 1
+        assert "retired cache schema" in report.pruned[0].reason
+
+    def test_unknown_kind_orphans_and_garbage_are_pruned(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _populate(cache_dir)
+        (cache_dir / "oldkind").mkdir()
+        (cache_dir / "oldkind" / "x.json").write_text("{}", encoding="utf-8")
+        (cache_dir / "oldkind" / "x.npz").write_bytes(b"")
+        (cache_dir / "dataset" / "orphan.npz").write_bytes(b"data")
+        (cache_dir / "severity" / "bad.json").write_text("{not json", encoding="utf-8")
+        (cache_dir / "severity" / "bad.npz").write_bytes(b"data")
+        report = prune_cache(cache_dir)
+        reasons = sorted(entry.reason for entry in report.pruned)
+        assert len(report.pruned) == 3
+        assert any("no registered artifact node" in reason for reason in reasons)
+        assert any("orphaned archive" in reason for reason in reasons)
+        assert any("unreadable or malformed" in reason for reason in reasons)
+        # The live entries survived.
+        counting = ArtifactCache(cache_dir)
+        context = ExperimentContext(TINY, cache=counting)
+        _ = context.severity
+        assert counting.stats.misses == 0
+
+
+class TestDryRun:
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cache = ArtifactCache(cache_dir)
+        params = {"preset": "ds2_like", "n_nodes": 24, "seed": 0}
+        cache.store("vivaldi", params, {"coordinates": np.zeros((24, 3))})
+        before = sorted(p.name for p in (cache_dir / "vivaldi").iterdir())
+        report = prune_cache(cache_dir, dry_run=True)
+        assert len(report.pruned) == 1
+        assert report.dry_run
+        assert sorted(p.name for p in (cache_dir / "vivaldi").iterdir()) == before
+
+
+class TestReportShape:
+    def test_as_dict(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _populate(cache_dir)
+        payload = prune_cache(cache_dir).as_dict()
+        assert payload["scanned"] == payload["kept"] + payload["pruned"]
+        assert payload["entries"] == []
+        assert not payload["dry_run"]
+
+
+class TestEraParamsDeclarations:
+    def test_kernel_carrying_nodes_declare_eras(self):
+        from repro.artifacts import get_node
+
+        for name in ("vivaldi", "alert", "ides"):
+            assert "kernel" in get_node(name).era_params, name
+        assert "coords_kernel" in get_node("lat").era_params
+
+    def test_artifact_key_labels(self):
+        assert ArtifactKey("vivaldi").label == "vivaldi"
+        assert ArtifactKey("dataset", ("ds2_like", 48)).label == "dataset[ds2_like,48]"

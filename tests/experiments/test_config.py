@@ -68,8 +68,14 @@ class TestExperimentConfig:
             )
             for kernel in ("batched", "reference")
         }
-        ides_params = {k: ctx._ides_params() for k, ctx in contexts.items()}
-        lat_params = {k: ctx._lat_params() for k, ctx in contexts.items()}
+        from repro.artifacts import ArtifactKey
+
+        ides_params = {
+            k: ctx.artifact_params(ArtifactKey("ides")) for k, ctx in contexts.items()
+        }
+        lat_params = {
+            k: ctx.artifact_params(ArtifactKey("lat")) for k, ctx in contexts.items()
+        }
         assert ides_params["batched"] != ides_params["reference"]
         assert lat_params["batched"] != lat_params["reference"]
         assert ides_params["batched"]["kernel"] == "batched"

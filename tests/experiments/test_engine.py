@@ -15,13 +15,16 @@ from repro.experiments.cache import ArtifactCache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 from repro.experiments.engine import (
-    _ARTIFACT_NEEDS,
     ExperimentEngine,
     resolve_jobs,
     results_equal,
     run_experiments,
 )
-from repro.experiments.registry import run_all_experiments, run_experiment
+from repro.experiments.registry import (
+    list_experiments,
+    run_all_experiments,
+    run_experiment,
+)
 
 TINY = ExperimentConfig(
     n_nodes=48,
@@ -265,21 +268,14 @@ class TestEngineValidation:
         assert not list((tmp_path / "artifacts").rglob("*.npz"))
 
 
-class TestWarmPhaseScoping:
-    def test_artifact_needs_covers_every_registered_experiment(self):
-        # A new runner missing from the map silently warms everything,
-        # which is safe but defeats --only scoping: keep the map in sync.
-        from repro.experiments.engine import _ARTIFACT_NEEDS
-        from repro.experiments.registry import list_experiments
-
-        assert set(_ARTIFACT_NEEDS) == set(list_experiments())
-
-    @pytest.mark.parametrize("experiment_id", sorted(_ARTIFACT_NEEDS))
-    def test_artifact_needs_matches_runner_usage(self, tmp_path, experiment_id):
-        # Pin the map to reality: warming exactly the mapped needs must
-        # leave the runner with zero cache misses.  A stale entry would
-        # make cold parallel workers silently recompute the skipped
-        # artefact (no failure, just duplicated wall-clock).
+class TestDeclaredNeedsScoping:
+    @pytest.mark.parametrize("experiment_id", sorted(list_experiments()))
+    def test_declared_needs_match_runner_usage(self, tmp_path, experiment_id):
+        # Pin the declarations to reality: warming exactly the declared
+        # artifact graph must leave the runner with zero cache misses.  A
+        # stale declaration would make cold parallel workers silently
+        # recompute the skipped artifact (no failure, just duplicated
+        # wall-clock).
         cache_dir = tmp_path / "artifacts"
         engine = ExperimentEngine(TINY, jobs=1, cache_dir=cache_dir)
         engine.warm(ArtifactCache(cache_dir), [experiment_id])
@@ -289,20 +285,19 @@ class TestWarmPhaseScoping:
             experiment_id, context=ExperimentContext(TINY, cache=counting)
         )
         assert counting.stats.misses == 0, (
-            f"{experiment_id} used artefacts its _ARTIFACT_NEEDS entry does not list"
+            f"{experiment_id} used artifacts its registered needs do not declare"
         )
 
-    def test_already_warm_parallel_run_skips_parent_preload(self, tmp_path):
-        # Workers re-read from disk anyway, so a fully warm cache should
-        # not be decompressed a second time in the parent.  If the
-        # engine-side (kind, params) mirror of the context's cache
-        # addresses drifts, this skip degrades to a no-op and this test
-        # fails — the self-guard for _shared_entry_keys.
+    def test_already_warm_parallel_run_submits_no_artifact_tasks(self, tmp_path):
+        # Every artifact address is already materialised, so the frontier
+        # scheduler must submit zero artifact tasks: the shared record
+        # stays all-zero and the figures run straight off the cache.
         cache_dir = tmp_path / "artifacts"
         run_experiments(TINY, only=list(SUBSET), jobs=2, cache_dir=cache_dir)
         warm = run_experiments(TINY, only=list(SUBSET), jobs=2, cache_dir=cache_dir)
         shared = warm.report.as_dict()["shared_precompute"]
         assert shared["cache"] == {"hits": 0, "misses": 0, "stores": 0}
+        assert warm.report.as_dict()["artifacts"] == []
         assert warm.report.all_cache_hits
 
     def test_subset_warm_skips_unneeded_artifacts(self, tmp_path):
@@ -323,7 +318,11 @@ class TestFailureReporting:
         def _boom(config=None, *, context=None, **kwargs):
             raise RuntimeError("synthetic failure")
 
-        monkeypatch.setitem(registry._REGISTRY, "fig03", _boom)
+        monkeypatch.setitem(
+            registry._REGISTRY,
+            "fig03",
+            registry.RegisteredExperiment(_boom, frozenset({"matrix"})),
+        )
         report_path = tmp_path / "BENCH_experiments.json"
         with pytest.raises(ExperimentError, match="synthetic failure"):
             run_experiments(
@@ -340,9 +339,11 @@ class TestFailureReporting:
 
 class TestSchemaMismatchRecovery:
     def test_entry_with_wrong_fields_is_recomputed(self, tmp_path):
+        from repro.artifacts import ArtifactKey
+
         cache = ArtifactCache(tmp_path / "artifacts")
         context = ExperimentContext(TINY, cache=cache)
-        params = context._matrix_params(TINY.dataset, TINY.n_nodes)
+        params = context.artifact_params(ArtifactKey("clusters"))
         # A structurally valid entry whose contents don't match what the
         # restore path expects (e.g. written by an older code version).
         cache.store("clusters", params, {"wrong_array": np.zeros(3)}, meta={})
@@ -367,7 +368,11 @@ class TestRobustness:
         def _boom(config=None, *, context=None, **kwargs):
             raise ValueError()  # deliberately empty message
 
-        monkeypatch.setitem(registry._REGISTRY, "fig03", _boom)
+        monkeypatch.setitem(
+            registry._REGISTRY,
+            "fig03",
+            registry.RegisteredExperiment(_boom, frozenset({"matrix"})),
+        )
         with pytest.raises(ExperimentError, match="ValueError") as excinfo:
             run_experiments(TINY, only=["fig03"], jobs=1)
         assert isinstance(excinfo.value.__cause__, ValueError)

@@ -241,7 +241,11 @@ class TestRunScenarioMatrix:
         def _boom(config=None, *, context=None, **kwargs):
             raise RuntimeError("scenario failure")
 
-        monkeypatch.setitem(registry._REGISTRY, "fig03", _boom)
+        monkeypatch.setitem(
+            registry._REGISTRY,
+            "fig03",
+            registry.RegisteredExperiment(_boom, frozenset({"matrix"})),
+        )
         report_path = tmp_path / "BENCH_scenarios.json"
         # The raised summary carries the per-figure error text and chains
         # the original exception, so CI logs are diagnosable without the

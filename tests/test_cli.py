@@ -212,3 +212,135 @@ class TestScenarioCommands:
         code, _, err = run_cli(capsys, "run", "fig03", "--scenario", "not_real")
         assert code == 1
         assert "unknown scenario" in err
+
+
+class TestGraphCommand:
+    def test_graph_prints_waves_and_addresses(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "graph", "--experiment", "fig19", "--nodes", "48"
+        )
+        assert code == 0
+        assert "wave 0:" in out and "wave 1:" in out
+        assert "dataset[ds2_like,48]" in out
+        assert "vivaldi" in out and "alert" in out
+        assert "cache=unknown" in out  # no --cache-dir given
+
+    def test_graph_json_reports_cache_status(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            capsys,
+            "run-all",
+            "--only",
+            "fig03",
+            "--nodes",
+            "48",
+            "--jobs",
+            "1",
+            "--cache-dir",
+            str(cache_dir),
+        )
+        code, out, _ = run_cli(
+            capsys,
+            "graph",
+            "--experiment",
+            "fig03",
+            "fig19",
+            "--nodes",
+            "48",
+            "--cache-dir",
+            str(cache_dir),
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        status = {row["artifact"]: row["cache"] for row in payload["artifacts"]}
+        assert status["dataset[ds2_like,48]"] == "hit"
+        assert status["clusters"] == "hit"
+        assert status["vivaldi"] == "miss"  # fig19's chain was never warmed
+        waves = {row["artifact"]: row["wave"] for row in payload["artifacts"]}
+        assert waves["alert"] > waves["vivaldi"] > waves["dataset[ds2_like,48]"]
+        assert all(len(row["address"]) == 32 for row in payload["artifacts"])
+
+    def test_graph_scenario_changes_addresses(self, capsys):
+        code, plain, _ = run_cli(
+            capsys, "graph", "--experiment", "fig03", "--nodes", "48", "--json"
+        )
+        assert code == 0
+        code, scoped, _ = run_cli(
+            capsys,
+            "graph",
+            "--experiment",
+            "fig03",
+            "--nodes",
+            "48",
+            "--scenario",
+            "heavy_tiv",
+            "--json",
+        )
+        assert code == 0
+        plain_addresses = {r["address"] for r in json.loads(plain)["artifacts"]}
+        scoped_addresses = {r["address"] for r in json.loads(scoped)["artifacts"]}
+        assert not plain_addresses & scoped_addresses
+
+    def test_graph_unknown_experiment_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "graph", "--experiment", "fig99")
+        assert code == 1
+        assert "unknown experiments" in err
+
+
+class TestCachePruneCommand:
+    def test_prune_removes_stale_entries_and_keeps_live_ones(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.experiments.cache import ArtifactCache
+
+        cache_dir = tmp_path / "cache"
+        run_cli(
+            capsys,
+            "run-all",
+            "--only",
+            "fig03",
+            "--nodes",
+            "48",
+            "--jobs",
+            "1",
+            "--cache-dir",
+            str(cache_dir),
+        )
+        # A pre-kernel-era vivaldi entry that current code can never hit.
+        ArtifactCache(cache_dir).store(
+            "vivaldi",
+            {"preset": "ds2_like", "n_nodes": 48, "seed": 0, "vivaldi_seconds": 8},
+            {"coordinates": np.zeros((48, 3))},
+        )
+        code, out, err = run_cli(
+            capsys, "cache", "prune", "--cache-dir", str(cache_dir), "--dry-run"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["pruned"] == 1 and payload["dry_run"]
+        assert "dry run" in err
+
+        code, out, err = run_cli(
+            capsys, "cache", "prune", "--cache-dir", str(cache_dir)
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["pruned"] == 1
+        assert "pre-'kernel'-era" in payload["entries"][0]["reason"]
+        assert "pruned 1" in err
+        # The live entries still hit: a warm rerun misses nothing.
+        code, out, _ = run_cli(
+            capsys,
+            "run-all",
+            "--only",
+            "fig03",
+            "--nodes",
+            "48",
+            "--jobs",
+            "1",
+            "--cache-dir",
+            str(cache_dir),
+        )
+        assert code == 0
+        assert json.loads(out)["totals"]["all_cache_hits"]
