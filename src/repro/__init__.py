@@ -11,18 +11,21 @@ The library re-implements the paper's full pipeline:
 * the neighbour-selection experiment harness (:mod:`repro.neighbor`),
 * the paper's contribution — the TIV alert mechanism, dynamic-neighbour
   Vivaldi and TIV-aware Meridian (:mod:`repro.core`),
-* per-figure experiment runners (:mod:`repro.experiments`).
+* per-figure experiment runners (:mod:`repro.experiments`),
+* an online streaming coordinate service with churn (:mod:`repro.stream`).
 
-Quickstart::
+Quickstart (see :mod:`repro.api` for the full facade)::
 
-    from repro import load_dataset, compute_tiv_severity, embed_vivaldi, TIVAlert
+    from repro import api
 
-    matrix = load_dataset("ds2_like", n_nodes=200, rng=0)
-    severity = compute_tiv_severity(matrix)
-    vivaldi = embed_vivaldi(matrix, seconds=100, rng=1)
-    alert = TIVAlert(matrix, vivaldi)
-    print(alert.evaluate(severity, target_fraction=0.05).accuracy)
+    matrix = api.load_matrix(preset="ds2_like", n_nodes=200, seed=0)
+    severity = api.severity(matrix)
+    vivaldi = api.build_embedding(matrix, system="vivaldi", seconds=100)
+    service = api.open_stream(api.make_trace(n_nodes=64, duration=30.0))
+    print(service.closest(0))
 """
+
+from repro import api
 
 from repro.core import (
     DynamicNeighborVivaldi,
@@ -63,6 +66,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
     "ReproError",
     "DelayMatrix",
     "SyntheticSpaceConfig",

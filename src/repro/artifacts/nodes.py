@@ -149,7 +149,7 @@ def _embedding_params(ctx, instance) -> dict:
         # batched kernel follows a different per-seed stream than the
         # scalar one, so entries written by pre-kernel versions of this
         # code must read as misses, not as stale hits.
-        "kernel": ctx.config.vivaldi_kernel,
+        "kernel": ctx.config.kernel_for("vivaldi"),
     }
     if ctx.scenario is not None and not ctx.scenario.is_noop:
         params["scenario"] = ctx.scenario.cache_params()
@@ -159,7 +159,7 @@ def _embedding_params(ctx, instance) -> dict:
 def _ides_params(ctx, instance) -> dict:
     """IDES never touches the Vivaldi embedding: dataset address + kernel."""
     params = _dataset_params(ctx, _main_instance(ctx))
-    params["kernel"] = ctx.config.coords_kernel
+    params["kernel"] = ctx.config.kernel_for("ides")
     return params
 
 
@@ -169,7 +169,7 @@ def _lat_params(ctx, instance) -> dict:
     top because the two LAT kernels follow different per-seed sampling
     streams."""
     params = _embedding_params(ctx, instance)
-    params["coords_kernel"] = ctx.config.coords_kernel
+    params["coords_kernel"] = ctx.config.kernel_for("lat")
     return params
 
 
@@ -276,7 +276,7 @@ def _build_vivaldi_system(ctx):
         ctx.matrix,
         VivaldiConfig(),
         rng=ctx.config.seed + 1,
-        kernel=ctx.config.vivaldi_kernel,
+        kernel=ctx.config.kernel_for("vivaldi"),
     )
 
 
@@ -331,7 +331,7 @@ def _compute_ides(ctx, instance):
         ctx.matrix,
         IDESConfig(method="svd", n_landmarks=n_landmarks),
         rng=ctx.config.seed,
-        kernel=ctx.config.coords_kernel,
+        kernel=ctx.config.kernel_for("ides"),
     )
 
 
@@ -355,7 +355,7 @@ def _payload_ides(value):
 def _compute_lat(ctx, instance):
     from repro.coords.lat import fit_lat
 
-    return fit_lat(ctx.vivaldi, rng=ctx.config.seed, kernel=ctx.config.coords_kernel)
+    return fit_lat(ctx.vivaldi, rng=ctx.config.seed, kernel=ctx.config.kernel_for("lat"))
 
 
 def _restore_lat(ctx, instance, entry):

@@ -17,10 +17,19 @@ driven without writing Python::
     python -m repro run-scenarios --matrix small \
         --jobs 2 --cache-dir .cache/experiments \
         --report BENCH_scenarios.json             # figure suite x scenario matrix
+    python -m repro make-trace -o trace.npz \
+        --nodes 64 --churn 0.2                    # churning measurement trace
+    python -m repro stream --trace trace.npz \
+        --report STREAM_report.json               # replay it through the live service
     python -m repro bench --sizes 100,200 \
         --report BENCH_perf.json                  # time the hot kernels
     python -m repro perf-gate --baseline BENCH_perf.json \
         --current bench-new.json                  # CI perf-regression gate
+
+Common flags (``--nodes/--seed``, ``--jobs``, ``--cache-dir``,
+``--report``, ``--only``) are defined once as argparse parent parsers —
+every subcommand that takes one of them shares the same spelling,
+default and help text.
 """
 
 from __future__ import annotations
@@ -347,6 +356,104 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_make_trace(args: argparse.Namespace) -> int:
+    from repro.stream import save_trace, synthesize_trace
+
+    trace = synthesize_trace(
+        preset=args.preset,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        scenario=args.scenario,
+        duration=args.duration,
+        rate=args.rate,
+        churn=args.churn,
+    )
+    save_trace(trace, args.output)
+    counts = trace.counts()
+    print(
+        f"wrote {trace.n_nodes}-node trace to {args.output} "
+        f"({counts['measurements']} measurements, {counts['joins']} joins, "
+        f"{counts['leaves']} leaves over {trace.duration:g}s)"
+    )
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.stream import StreamServiceConfig, load_trace, replay_trace
+
+    trace = load_trace(args.trace)
+    config = StreamServiceConfig(alert_threshold=args.alert_threshold)
+    report = replay_trace(
+        trace, config=config, window_seconds=args.window, rng=args.seed
+    )
+    _print_json(report.as_dict())
+    if args.report:
+        report.write(args.report)
+        print(f"wrote stream report to {args.report}", file=sys.stderr)
+    return 0
+
+
+# -- shared flags (argparse parent parsers) -----------------------------------
+#
+# Each factory returns a fresh ``add_help=False`` parser defining one flag
+# family; subcommands opt in via ``parents=[...]`` so the spelling, default
+# and help text stay identical everywhere the flag appears.
+
+
+def _population_parent(default_nodes: int | None = 240) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--nodes",
+        type=int,
+        default=default_nodes,
+        help="node count"
+        + (" (default: preset default)" if default_nodes is None else f" (default: {default_nodes})"),
+    )
+    parent.add_argument("--seed", type=int, default=0, help="seed of the run's random streams")
+    return parent
+
+
+def _jobs_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = sequential in-process, 0 = one per CPU)",
+    )
+    return parent
+
+
+def _cache_parent(required: bool = False) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--cache-dir",
+        required=required,
+        default=None,
+        help="artifact cache directory; a second run with the same config "
+        "is served from it",
+    )
+    return parent
+
+
+def _report_parent(report_name: str) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--report",
+        default=None,
+        help=f"write the structured JSON report ({report_name}) here",
+    )
+    return parent
+
+
+def _only_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--only", nargs="+", default=None, help="subset of experiment ids to run"
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -357,28 +464,32 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = sub.add_parser("datasets", help="list the synthetic dataset presets")
     datasets.set_defaults(func=_cmd_datasets)
 
-    generate = sub.add_parser("generate", help="generate a synthetic delay matrix and save it")
+    generate = sub.add_parser(
+        "generate",
+        help="generate a synthetic delay matrix and save it",
+        parents=[_population_parent(None)],
+    )
     generate.add_argument("preset", choices=available_datasets())
     generate.add_argument("-o", "--output", required=True, help="output .npz path")
-    generate.add_argument("--nodes", type=int, default=None, help="node count override")
-    generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(func=_cmd_generate)
 
-    analyze = sub.add_parser("analyze", help="TIV severity summary of a matrix")
+    analyze = sub.add_parser(
+        "analyze",
+        help="TIV severity summary of a matrix",
+        parents=[_population_parent(None)],
+    )
     source = analyze.add_mutually_exclusive_group()
     source.add_argument("--input", help="path to a .npz delay matrix")
     source.add_argument("--preset", choices=available_datasets(), default="ds2_like")
-    analyze.add_argument("--nodes", type=int, default=None)
-    analyze.add_argument("--seed", type=int, default=0)
     analyze.set_defaults(func=_cmd_analyze)
 
     experiments = sub.add_parser("experiments", help="list the per-figure experiment runners")
     experiments.set_defaults(func=_cmd_experiments)
 
-    run = sub.add_parser("run", help="run one figure experiment")
+    run = sub.add_parser(
+        "run", help="run one figure experiment", parents=[_population_parent()]
+    )
     run.add_argument("experiment", help="experiment id, e.g. fig20 (see 'experiments')")
-    run.add_argument("--nodes", type=int, default=240)
-    run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--scenario",
         default=None,
@@ -387,36 +498,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true", help="emit the full data payload")
     run.set_defaults(func=_cmd_run)
 
-    def add_sweep_arguments(parser: argparse.ArgumentParser, report_name: str) -> None:
-        """The flags run-all and run-scenarios share (kept in one place)."""
-        parser.add_argument("--nodes", type=int, default=240)
-        parser.add_argument("--seed", type=int, default=0)
-        parser.add_argument(
-            "--jobs",
-            type=int,
-            default=1,
-            help="worker processes (1 = sequential in-process, 0 = one per CPU)",
-        )
-        parser.add_argument(
-            "--cache-dir",
-            default=None,
-            help="artifact cache directory; a second run with the same config "
-            "is served from it",
-        )
-        parser.add_argument(
-            "--report",
-            default=None,
-            help=f"write the structured run report ({report_name}) here",
-        )
-        parser.add_argument(
-            "--only", nargs="+", default=None, help="subset of experiment ids to run"
-        )
+    def sweep_parents(report_name: str) -> list[argparse.ArgumentParser]:
+        """The flag families run-all and run-scenarios share."""
+        return [
+            _population_parent(),
+            _jobs_parent(),
+            _cache_parent(),
+            _report_parent(report_name),
+            _only_parent(),
+        ]
 
     run_all = sub.add_parser(
         "run-all",
         help="run every figure experiment through the parallel cached engine",
+        parents=sweep_parents("BENCH_experiments.json"),
     )
-    add_sweep_arguments(run_all, "BENCH_experiments.json")
     run_all.add_argument(
         "--scenario",
         default=None,
@@ -430,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
     graph = sub.add_parser(
         "graph",
         help="print the resolved artifact DAG (topological waves, cache status)",
+        parents=[_population_parent(), _cache_parent()],
     )
     graph.add_argument(
         "--experiment",
@@ -442,13 +539,6 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="library scenario to resolve the graph under (see 'scenarios')",
     )
-    graph.add_argument("--nodes", type=int, default=240)
-    graph.add_argument("--seed", type=int, default=0)
-    graph.add_argument(
-        "--cache-dir",
-        default=None,
-        help="artifact cache to check each node's hit/miss status against",
-    )
     graph.add_argument(
         "--json", action="store_true", help="emit the graph as JSON instead of text"
     )
@@ -460,9 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
         "prune",
         help="evict cache entries no registered artifact node can produce "
         "(retired schema tags or kernel eras, unknown kinds, orphans)",
-    )
-    prune.add_argument(
-        "--cache-dir", required=True, help="artifact cache directory to prune"
+        parents=[_cache_parent(required=True)],
     )
     prune.add_argument(
         "--dry-run",
@@ -489,6 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_scenarios = sub.add_parser(
         "run-scenarios",
         help="run the figure suite under every scenario of a matrix",
+        parents=sweep_parents("BENCH_scenarios.json"),
     )
     run_scenarios.add_argument(
         "--matrix",
@@ -502,12 +591,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="explicit scenario names to run instead of a matrix",
     )
-    add_sweep_arguments(run_scenarios, "BENCH_scenarios.json")
     run_scenarios.set_defaults(func=_cmd_run_scenarios)
+
+    make_trace = sub.add_parser(
+        "make-trace",
+        help="synthesize a churning measurement trace for 'stream' and save it",
+        parents=[_population_parent(64)],
+    )
+    make_trace.add_argument(
+        "--preset",
+        choices=available_datasets(),
+        default="ds2_like",
+        help="dataset preset the ground-truth matrix is drawn from",
+    )
+    make_trace.add_argument(
+        "--scenario",
+        default=None,
+        help="library scenario shaping the ground truth (see 'scenarios')",
+    )
+    make_trace.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="trace length in simulated seconds (default: 60)",
+    )
+    make_trace.add_argument(
+        "--rate",
+        type=int,
+        default=1,
+        help="measurements per live node per second (default: 1)",
+    )
+    make_trace.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="fraction of nodes that leave and rejoin mid-trace (default: 0)",
+    )
+    make_trace.add_argument("-o", "--output", required=True, help="output .npz trace path")
+    make_trace.set_defaults(func=_cmd_make_trace)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a measurement trace through the live coordinate service",
+        parents=[_report_parent("STREAM_report.json")],
+    )
+    stream.add_argument(
+        "--trace", required=True, help="trace file written by 'make-trace'"
+    )
+    stream.add_argument(
+        "--window",
+        type=float,
+        default=10.0,
+        help="accuracy-scoring window width in seconds (default: 10)",
+    )
+    stream.add_argument(
+        "--alert-threshold",
+        type=float,
+        default=0.5,
+        help="predicted/observed ratio below which a TIV alert fires (default: 0.5)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=0, help="seed of the service's random stream"
+    )
+    stream.set_defaults(func=_cmd_stream)
 
     bench = sub.add_parser(
         "bench",
         help="time the library's hot kernels and write BENCH_perf.json",
+        parents=[_report_parent("BENCH_perf.json")],
     )
     bench.add_argument(
         "--sizes",
@@ -529,9 +680,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", type=int, default=1, help="untimed warmup calls (default: 1)"
     )
     bench.add_argument("--seed", type=int, default=0)
-    bench.add_argument(
-        "--report", default=None, help="write the JSON report (BENCH_perf.json) here"
-    )
     bench.set_defaults(func=_cmd_bench)
 
     perf_gate = sub.add_parser(
@@ -563,12 +711,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf_gate.set_defaults(func=_cmd_perf_gate)
 
     report = sub.add_parser(
-        "report", help="run experiments and render a Markdown results report"
-    )
-    report.add_argument("--nodes", type=int, default=240)
-    report.add_argument("--seed", type=int, default=0)
-    report.add_argument(
-        "--only", nargs="+", default=None, help="subset of experiment ids to include"
+        "report",
+        help="run experiments and render a Markdown results report",
+        parents=[_population_parent(), _only_parent()],
     )
     report.add_argument("-o", "--output", default=None, help="write the report to a file")
     report.set_defaults(func=_cmd_report)

@@ -1,0 +1,342 @@
+"""Online (per-observation) Vivaldi with height, error and rho gravity.
+
+The batched :class:`~repro.coords.vivaldi.VivaldiSystem` simulates a fixed
+node population in synchronous probe rounds — the right shape for the
+paper's frozen-matrix experiments, and the wrong one for a long-lived
+service where measurements arrive one at a time and nodes join and leave
+at will.  This module provides the incremental update path underneath
+:mod:`repro.stream`: a slot-compacted membership table whose coordinates
+advance one observation at a time, following the "Network Coordinates in
+the Wild" (Ledlie et al., NSDI 2007) extensions to Vivaldi's adaptive
+timestep (Dabek et al., SIGCOMM 2004, Fig. 3):
+
+* **height** — each node carries a non-Euclidean height modelling its
+  access-link delay; the predicted delay between two nodes is the
+  Euclidean distance between their vectors plus both heights.
+* **error** — each node tracks a relative-error confidence, capped at
+  ``max_error``, that weights how far an observation moves it.
+* **rho gravity** — after every movement the coordinate is pulled toward
+  the origin with a force quadratic in ``|x| / rho``, countering the
+  slow drift of the whole coordinate system.
+
+With ``use_height=False`` and ``rho=0`` the per-observation update is
+exactly the scalar Vivaldi rule of
+:meth:`~repro.coords.vivaldi.VivaldiSystem._probe`, which is what the
+stream-vs-batch equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.stats.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class OnlineVivaldiConfig:
+    """Parameters of the online coordinate update.
+
+    Attributes
+    ----------
+    dimension:
+        Dimensionality of the Euclidean component (paper: 5).
+    cc:
+        Adaptive-timestep constant scaling coordinate movement (0.25).
+    ce:
+        Constant scaling the error-estimate update (0.25).
+    rho:
+        Gravity tuning factor (Ledlie et al.): after each update the
+        coordinate is pulled toward the origin by ``(|x| / rho)**2``.
+        ``0`` disables gravity.
+    use_height:
+        Whether coordinates carry the non-Euclidean height component.
+    min_height:
+        Floor of the height component (heights never reach zero, an
+        access link always costs something).
+    initial_error:
+        Error estimate assigned to a freshly joined node; also the cap
+        (``max_error``) applied after every update, per the edgeIO /
+        serf convention of ``max_error = 1.5``.
+    min_error:
+        Floor applied to error estimates so the confidence weight
+        ``e_i / (e_i + e_j)`` stays defined.
+    """
+
+    dimension: int = 5
+    cc: float = 0.25
+    ce: float = 0.25
+    rho: float = 150.0
+    use_height: bool = True
+    min_height: float = 1e-5
+    initial_error: float = 1.5
+    min_error: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise EmbeddingError("dimension must be >= 1")
+        if not 0 < self.cc <= 1 or not 0 < self.ce <= 1:
+            raise EmbeddingError("cc and ce must lie in (0, 1]")
+        if self.rho < 0:
+            raise EmbeddingError("rho must be >= 0 (0 disables gravity)")
+        if self.min_height <= 0:
+            raise EmbeddingError("min_height must be > 0")
+        if self.initial_error <= 0 or self.min_error <= 0:
+            raise EmbeddingError("initial_error and min_error must be > 0")
+        if self.min_error > self.initial_error:
+            raise EmbeddingError("min_error must not exceed initial_error")
+
+
+class OnlineVivaldi:
+    """A live Vivaldi embedding over a churning node population.
+
+    Node identifiers are arbitrary hashables (the stream layer uses
+    integers).  Internally each active node owns a slot in preallocated
+    coordinate/height/error arrays; slots freed by :meth:`leave` are
+    reused by later joins, so capacity tracks the *concurrent* population,
+    not the total number of identifiers ever seen.
+    """
+
+    def __init__(
+        self,
+        config: OnlineVivaldiConfig | None = None,
+        *,
+        rng: RngLike = None,
+        capacity: int = 64,
+    ):
+        if capacity < 1:
+            raise EmbeddingError("capacity must be >= 1")
+        self._config = config if config is not None else OnlineVivaldiConfig()
+        self._rng = ensure_rng(rng)
+        cap = int(capacity)
+        dim = self._config.dimension
+        self._coords = np.zeros((cap, dim))
+        self._heights = np.full(cap, self._config.min_height)
+        self._errors = np.full(cap, self._config.initial_error)
+        self._last_update = np.full(cap, -np.inf)
+        self._update_counts = np.zeros(cap, dtype=np.int64)
+        self._slots: dict = {}
+        self._free: list[int] = []
+        self._observations = 0
+
+    # -- membership -----------------------------------------------------------
+
+    @property
+    def config(self) -> OnlineVivaldiConfig:
+        return self._config
+
+    @property
+    def n_active(self) -> int:
+        """Number of currently active nodes."""
+        return len(self._slots)
+
+    @property
+    def observations(self) -> int:
+        """Total measurement observations applied so far."""
+        return self._observations
+
+    def active_nodes(self) -> list:
+        """Identifiers of the active nodes, sorted."""
+        return sorted(self._slots)
+
+    def is_active(self, node) -> bool:
+        return node in self._slots
+
+    def _grow(self) -> None:
+        cap = self._coords.shape[0]
+        new_cap = cap * 2
+        self._coords = np.vstack(
+            [self._coords, np.zeros((cap, self._config.dimension))]
+        )
+        self._heights = np.concatenate(
+            [self._heights, np.full(cap, self._config.min_height)]
+        )
+        self._errors = np.concatenate(
+            [self._errors, np.full(cap, self._config.initial_error)]
+        )
+        self._last_update = np.concatenate([self._last_update, np.full(cap, -np.inf)])
+        self._update_counts = np.concatenate(
+            [self._update_counts, np.zeros(cap, dtype=np.int64)]
+        )
+        assert self._coords.shape[0] == new_cap
+
+    def join(self, node, t: float = 0.0) -> None:
+        """Add ``node`` to the live population at time ``t``.
+
+        A fresh node starts at the origin with minimal height and maximal
+        error — its first observations move it almost the full spring
+        displacement, so it localises quickly (the adaptive timestep at
+        work).  Rejoining while active is an error: the stream layer
+        treats it as a malformed trace.
+        """
+        if node in self._slots:
+            raise EmbeddingError(f"node {node!r} is already active")
+        if self._free:
+            slot = self._free.pop()
+        else:
+            if len(self._slots) >= self._coords.shape[0]:
+                self._grow()
+            slot = len(self._slots)
+        self._coords[slot] = 0.0
+        self._heights[slot] = self._config.min_height
+        self._errors[slot] = self._config.initial_error
+        self._last_update[slot] = float(t)
+        self._update_counts[slot] = 0
+        self._slots[node] = slot
+
+    def leave(self, node) -> None:
+        """Remove ``node`` from the live population, freeing its slot."""
+        slot = self._slots.pop(node, None)
+        if slot is None:
+            raise EmbeddingError(f"node {node!r} is not active")
+        self._free.append(slot)
+
+    # -- the per-observation update -------------------------------------------
+
+    def observe(self, src, dst, rtt: float, t: float = 0.0) -> float:
+        """Apply one measurement: ``src`` observed ``rtt`` to ``dst``.
+
+        Only ``src`` moves — Vivaldi's protocol is asynchronous, each node
+        updates its own coordinate from the probes *it* issues; ``dst``
+        will move when its own probes come through the stream.  Returns
+        the magnitude of ``src``'s coordinate movement.
+        """
+        try:
+            i = self._slots[src]
+            j = self._slots[dst]
+        except KeyError:
+            missing = src if src not in self._slots else dst
+            raise EmbeddingError(
+                f"cannot observe {src!r} -> {dst!r}: node {missing!r} is not active"
+            ) from None
+        cfg = self._config
+        if not np.isfinite(rtt) or rtt <= 0:
+            return 0.0
+
+        diff = self._coords[i] - self._coords[j]
+        mag = float(np.linalg.norm(diff))
+        dist = mag
+        if cfg.use_height:
+            dist += self._heights[i] + self._heights[j]
+
+        e_i = max(self._errors[i], cfg.min_error)
+        e_j = max(self._errors[j], cfg.min_error)
+        w = e_i / (e_i + e_j)
+        relative_error = abs(dist - rtt) / rtt
+
+        ce_w = cfg.ce * w
+        self._errors[i] = min(
+            relative_error * ce_w + self._errors[i] * (1.0 - ce_w),
+            cfg.initial_error,
+        )
+
+        force = cfg.cc * w * (rtt - dist)
+        if mag > 0:
+            unit = diff / mag
+        else:
+            unit = self._rng.normal(size=cfg.dimension)
+            unit /= np.linalg.norm(unit)
+        self._coords[i] = self._coords[i] + force * unit
+        if cfg.use_height and mag > 0:
+            # The height absorbs the share of the spring force that
+            # travelled the access links rather than the Euclidean core.
+            self._heights[i] = max(
+                cfg.min_height,
+                self._heights[i] + force * (self._heights[i] + self._heights[j]) / mag,
+            )
+
+        if cfg.rho > 0:
+            # Rho gravity (Ledlie et al.): a quadratic pull toward the
+            # origin counters whole-system drift without disturbing
+            # relative distances at working scale.
+            norm = float(np.linalg.norm(self._coords[i]))
+            if norm > 0:
+                pull = (norm / cfg.rho) ** 2
+                self._coords[i] -= self._coords[i] * (pull / norm)
+
+        self._last_update[i] = float(t)
+        self._update_counts[i] += 1
+        self._observations += 1
+        return abs(force)
+
+    # -- live-state queries ---------------------------------------------------
+
+    def _slot_of(self, node) -> int:
+        try:
+            return self._slots[node]
+        except KeyError:
+            raise EmbeddingError(f"node {node!r} is not active") from None
+
+    def coordinate_of(self, node) -> np.ndarray:
+        """Euclidean component of ``node``'s coordinate (copy)."""
+        return self._coords[self._slot_of(node)].copy()
+
+    def height_of(self, node) -> float:
+        return float(self._heights[self._slot_of(node)])
+
+    def error_of(self, node) -> float:
+        return float(self._errors[self._slot_of(node)])
+
+    def update_count_of(self, node) -> int:
+        return int(self._update_counts[self._slot_of(node)])
+
+    def distance(self, a, b) -> float:
+        """Predicted delay between two active nodes (live state)."""
+        if a == b:
+            return 0.0
+        i, j = self._slot_of(a), self._slot_of(b)
+        dist = float(np.linalg.norm(self._coords[i] - self._coords[j]))
+        if self._config.use_height:
+            dist += float(self._heights[i] + self._heights[j])
+        return dist
+
+    def distances_from(self, node) -> dict:
+        """Predicted delay from ``node`` to every other active node."""
+        i = self._slot_of(node)
+        others = [(other, slot) for other, slot in self._slots.items() if other != node]
+        if not others:
+            return {}
+        slots = np.fromiter((slot for _, slot in others), dtype=np.int64)
+        diff = self._coords[slots] - self._coords[i]
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if self._config.use_height:
+            dists = dists + self._heights[slots] + self._heights[i]
+        return {other: float(d) for (other, _), d in zip(others, dists)}
+
+    def closest(self, node, k: int = 1) -> list[tuple[object, float]]:
+        """The ``k`` active nodes predicted closest to ``node``.
+
+        Returns ``(node_id, predicted_delay)`` pairs sorted by predicted
+        delay (ties broken by node id, so the answer is deterministic).
+        """
+        if k < 1:
+            raise EmbeddingError("k must be >= 1")
+        dists = self.distances_from(node)
+        ranked = sorted(dists.items(), key=lambda item: (item[1], str(item[0])))
+        return ranked[: int(k)]
+
+    def staleness(self, now: float) -> dict:
+        """Per-node seconds since the last coordinate update.
+
+        Nodes that joined but were never updated report their age since
+        joining.  Raises for ``now`` earlier than the latest update.
+        """
+        out = {}
+        for node, slot in self._slots.items():
+            out[node] = float(now) - float(self._last_update[slot])
+        return out
+
+    def snapshot(self) -> dict:
+        """Arrays of the live state, keyed by sorted node id (copies)."""
+        nodes = self.active_nodes()
+        slots = np.fromiter((self._slots[n] for n in nodes), dtype=np.int64, count=len(nodes))
+        return {
+            "nodes": nodes,
+            "coordinates": self._coords[slots].copy(),
+            "heights": self._heights[slots].copy(),
+            "errors": self._errors[slots].copy(),
+            "last_update": self._last_update[slots].copy(),
+            "update_counts": self._update_counts[slots].copy(),
+        }

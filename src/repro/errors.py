@@ -50,3 +50,8 @@ class ExperimentError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when an experiment or system configuration is inconsistent."""
+
+
+class StreamError(ReproError):
+    """Raised by the streaming coordinate service for malformed traces or
+    invalid live-state queries."""

@@ -159,6 +159,36 @@ def _setup_artifact_graph_resolve(size: int, seed: int) -> tuple[PreparedKernel,
     return (lambda: resolve_plan(config, wanted)), float(len(wanted))
 
 
+def _setup_online_update(size: int, seed: int) -> tuple[PreparedKernel, float]:
+    from repro.stream.service import StreamCoordinateService
+
+    matrix = _dataset(size, seed)
+    truth = matrix.to_array()
+    service = StreamCoordinateService(rng=seed + 1)
+    for node in range(size):
+        service.join(node, 0.0)
+    import numpy as np
+
+    rng = np.random.default_rng(seed + 2)
+    state = {"t": 0.0}
+
+    def run() -> int:
+        # One call = one simulated second of service ingestion: every
+        # node observes one random peer (coordinate update + edge memory
+        # + rolling severity), the per-event hot path of `repro stream`.
+        state["t"] += 1.0
+        t = state["t"]
+        picks = rng.integers(0, size - 1, size=size)
+        picks += picks >= np.arange(size)
+        for src in range(size):
+            rtt = truth[src, picks[src]]
+            if rtt > 0:
+                service.observe(src, int(picks[src]), float(rtt), t)
+        return size
+
+    return run, float(size)
+
+
 def _setup_scenario_generation(size: int, seed: int) -> tuple[PreparedKernel, float]:
     from repro.scenarios.generators import load_scenario_dataset
     from repro.scenarios.library import get_scenario
@@ -243,6 +273,13 @@ _KERNELS: dict[str, KernelSpec] = {
             "all-pairs shortest paths over the delay graph (scipy csgraph)",
             "edges/s",
             _setup_shortest_paths,
+        ),
+        KernelSpec(
+            "online_update",
+            "one simulated second of streaming-service ingestion "
+            "(per-observation Vivaldi + edge memory + rolling severity)",
+            "updates/s",
+            _setup_online_update,
         ),
         KernelSpec(
             "scenario_generation",

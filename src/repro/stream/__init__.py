@@ -1,0 +1,48 @@
+"""Online streaming coordinate service (the live counterpart of the
+batch harness).
+
+The paper studies TIV damage to *live* systems — closest-node selection
+and overlay construction under drifting latencies — so this package turns
+the repo's frozen-matrix pipeline into an event-driven service:
+
+* :mod:`repro.stream.events` — the event model (measurements plus
+  join/leave churn), the :class:`Trace` container and its ``.npz`` I/O.
+* :mod:`repro.stream.synth` — scenario-backed trace synthesis: any of the
+  18 library scenarios doubles as a trace corpus via
+  :func:`synthesize_trace` (CLI: ``repro make-trace``).
+* :mod:`repro.stream.service` — :class:`StreamCoordinateService`, the
+  long-lived state: an online Vivaldi embedding with height/error/rho
+  (:mod:`repro.coords.online`), a rolling TIV-severity estimate over the
+  observed edge set, and live queries (``closest``, ``distance``,
+  ``tiv_alert``).
+* :mod:`repro.stream.replay` — trace replay with window-by-window
+  accuracy/staleness metrics against the trace's ground-truth matrix
+  (CLI: ``repro stream``), feeding the golden harness and the CI smoke
+  job.
+"""
+
+from repro.stream.events import (
+    MeasurementEvent,
+    NodeJoin,
+    NodeLeave,
+    Trace,
+    load_trace,
+    save_trace,
+)
+from repro.stream.replay import StreamReport, replay_trace
+from repro.stream.service import StreamCoordinateService, StreamServiceConfig
+from repro.stream.synth import synthesize_trace
+
+__all__ = [
+    "MeasurementEvent",
+    "NodeJoin",
+    "NodeLeave",
+    "Trace",
+    "save_trace",
+    "load_trace",
+    "synthesize_trace",
+    "StreamCoordinateService",
+    "StreamServiceConfig",
+    "StreamReport",
+    "replay_trace",
+]

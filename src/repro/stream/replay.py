@@ -1,0 +1,275 @@
+"""Trace replay: drive a service from a trace, score it window by window.
+
+Replay is the streaming analogue of the batch figure runners: it feeds a
+:class:`~repro.stream.events.Trace` through a
+:class:`~repro.stream.service.StreamCoordinateService` and, at every
+window boundary, scores the live embedding against the trace's
+ground-truth matrix over a fixed, deterministically sampled edge set —
+producing the accuracy/staleness *trajectory* (does the embedding
+converge? how fast does it recover from churn?) instead of a single
+converged number.  The resulting :class:`StreamReport` is what
+``repro stream`` prints, what the golden harness snapshots and what the
+CI smoke job asserts improvement on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.errors import StreamError
+from repro.stream.events import MeasurementEvent, NodeJoin, Trace
+from repro.stream.service import StreamCoordinateService, StreamServiceConfig
+from repro.utils.io import write_json_report
+
+#: Schema tag of the stream report payload.
+STREAM_REPORT_SCHEMA = "stream-report/v1"
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """Metrics of one replay window ``[t_start, t_end)``."""
+
+    index: int
+    t_start: float
+    t_end: float
+    events: int
+    measurements: int
+    joins: int
+    leaves: int
+    active_nodes: int
+    evaluated_edges: int
+    median_relative_error: float
+    mean_relative_error: float
+    mean_staleness: float
+    max_staleness: float
+    alert_fraction: float
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "events": self.events,
+            "measurements": self.measurements,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "active_nodes": self.active_nodes,
+            "evaluated_edges": self.evaluated_edges,
+            "median_relative_error": self.median_relative_error,
+            "mean_relative_error": self.mean_relative_error,
+            "mean_staleness": self.mean_staleness,
+            "max_staleness": self.max_staleness,
+            "alert_fraction": self.alert_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """The full replay outcome: trajectory, totals and live-query answers."""
+
+    trace_meta: dict
+    window_seconds: float
+    windows: tuple[StreamWindow, ...]
+    totals: dict
+    queries: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": STREAM_REPORT_SCHEMA,
+            "trace": dict(self.trace_meta),
+            "window_seconds": self.window_seconds,
+            "windows": [window.as_dict() for window in self.windows],
+            "totals": dict(self.totals),
+            "queries": dict(self.queries),
+        }
+
+    def write(self, path) -> None:
+        """Write the report as diff-friendly JSON."""
+        write_json_report(path, self.as_dict())
+
+
+def _evaluation_edges(truth: np.ndarray, limit: int) -> tuple[np.ndarray, np.ndarray]:
+    """A deterministic sample of measured ground-truth edges to score on."""
+    iu = np.triu_indices(truth.shape[0], k=1)
+    values = truth[iu]
+    keep = np.isfinite(values) & (values > 0)
+    rows, cols = iu[0][keep], iu[1][keep]
+    if rows.size > limit:
+        rng = np.random.default_rng([rows.size & 0xFFFFFFFF, 0xEA1])
+        chosen = np.sort(rng.choice(rows.size, size=int(limit), replace=False))
+        rows, cols = rows[chosen], cols[chosen]
+    return rows, cols
+
+
+def _window_metrics(
+    index: int,
+    t_start: float,
+    t_end: float,
+    counts: dict,
+    service: StreamCoordinateService,
+    truth: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> StreamWindow:
+    embedding = service.embedding
+    errors = []
+    alerts = evaluated_alerts = 0
+    for a, b in zip(rows, cols):
+        a, b = int(a), int(b)
+        if not (embedding.is_active(a) and embedding.is_active(b)):
+            continue
+        predicted = embedding.distance(a, b)
+        errors.append(abs(predicted - truth[a, b]) / truth[a, b])
+        # An alert query needs an observed RTT for the edge; sample edges
+        # without one are skipped rather than counted.
+        try:
+            verdict = service.tiv_alert(a, b)
+        except StreamError:
+            continue
+        evaluated_alerts += 1
+        alerts += int(verdict["alerted"])
+    staleness = service.staleness()
+    errors_arr = np.asarray(errors, dtype=float)
+    return StreamWindow(
+        index=index,
+        t_start=float(t_start),
+        t_end=float(t_end),
+        events=int(counts["events"]),
+        measurements=int(counts["measurements"]),
+        joins=int(counts["joins"]),
+        leaves=int(counts["leaves"]),
+        active_nodes=service.n_active,
+        evaluated_edges=int(errors_arr.size),
+        median_relative_error=float(np.median(errors_arr)) if errors_arr.size else float("nan"),
+        mean_relative_error=float(errors_arr.mean()) if errors_arr.size else float("nan"),
+        mean_staleness=float(staleness["mean"]),
+        max_staleness=float(staleness["max"]),
+        alert_fraction=float(alerts / evaluated_alerts) if evaluated_alerts else float("nan"),
+    )
+
+
+def replay_trace(
+    trace: Trace,
+    *,
+    config: StreamServiceConfig | None = None,
+    window_seconds: float = 10.0,
+    eval_edges: int = 512,
+    query_nodes: int = 8,
+    query_edges: int = 8,
+    rng=0,
+) -> StreamReport:
+    """Replay ``trace`` through a fresh service, scoring every window.
+
+    Parameters
+    ----------
+    trace:
+        The event stream plus ground truth to replay.
+    config:
+        Service parameters (defaults: the paper-faithful online Vivaldi
+        with height and rho gravity).
+    window_seconds:
+        Width of the scoring windows.
+    eval_edges:
+        Cap on the deterministically sampled ground-truth edges scored
+        per window.
+    query_nodes, query_edges:
+        How many closest-node queries (over the lowest-id active nodes)
+        and TIV-alert queries (over the worst rolling-severity edges) to
+        answer from the final live state and embed in the report.
+    rng:
+        Seed of the service's random stream (coincident-coordinate
+        pushes, witness sampling).  Replay is deterministic given
+        ``(trace, config, rng)``.
+    """
+    if window_seconds <= 0:
+        raise StreamError("window_seconds must be > 0")
+    if not trace.events:
+        raise StreamError("cannot replay an empty trace")
+
+    service = StreamCoordinateService(config, rng=rng)
+    truth = trace.ground_truth
+    rows, cols = _evaluation_edges(truth, int(eval_edges))
+
+    t0 = float(trace.events[0].t)
+    windows: list[StreamWindow] = []
+    counts = {"events": 0, "measurements": 0, "joins": 0, "leaves": 0}
+    boundary = t0 + window_seconds
+
+    def close_window(t_end: float) -> None:
+        windows.append(
+            _window_metrics(
+                len(windows),
+                t_end - window_seconds,
+                t_end,
+                counts,
+                service,
+                truth,
+                rows,
+                cols,
+            )
+        )
+        counts.update(events=0, measurements=0, joins=0, leaves=0)
+
+    for event in trace.events:
+        while event.t >= boundary:
+            close_window(boundary)
+            boundary += window_seconds
+        service.apply(event)
+        counts["events"] += 1
+        if isinstance(event, MeasurementEvent):
+            counts["measurements"] += 1
+        elif isinstance(event, NodeJoin):
+            counts["joins"] += 1
+        else:
+            counts["leaves"] += 1
+    close_window(boundary)
+
+    scored = [w for w in windows if np.isfinite(w.median_relative_error)]
+    first = scored[0] if scored else None
+    last = scored[-1] if scored else None
+    totals = {
+        "events": trace.n_events,
+        "windows": len(windows),
+        "final_active_nodes": service.n_active,
+        "observed_edges": service.n_observed_edges,
+        "first_window_median_relative_error": (
+            first.median_relative_error if first else float("nan")
+        ),
+        "last_window_median_relative_error": (
+            last.median_relative_error if last else float("nan")
+        ),
+        "accuracy_improved": bool(
+            first is not None
+            and last is not None
+            and last.median_relative_error < first.median_relative_error
+        ),
+        "final_mean_staleness": service.staleness()["mean"],
+    }
+
+    queries: dict = {"closest": [], "tiv_alerts": []}
+    for node in service.active_nodes()[: int(query_nodes)]:
+        ranked = service.closest(node, k=1)
+        if ranked:
+            peer, predicted = ranked[0]
+            queries["closest"].append(
+                {"node": int(node), "closest": int(peer), "predicted": float(predicted)}
+            )
+    for edge, severity in service.worst_edges(int(query_edges)):
+        verdict = service.tiv_alert(*edge)
+        queries["tiv_alerts"].append(
+            {
+                "edge": [int(edge[0]), int(edge[1])],
+                "severity_estimate": float(severity),
+                "ratio": float(verdict["ratio"]),
+                "alerted": bool(verdict["alerted"]),
+            }
+        )
+
+    return StreamReport(
+        trace_meta=dict(trace.meta),
+        window_seconds=float(window_seconds),
+        windows=tuple(windows),
+        totals=totals,
+        queries=queries,
+    )

@@ -1,0 +1,279 @@
+"""The long-lived streaming coordinate service.
+
+:class:`StreamCoordinateService` owns all live state: the online Vivaldi
+embedding (:class:`repro.coords.online.OnlineVivaldi`), the recently
+observed RTT of every measured edge, and a rolling per-edge TIV-severity
+estimate maintained incrementally from sampled witnesses.  Events flow in
+through :meth:`apply` (or the typed ``join``/``leave``/``observe``
+methods); queries — ``closest``, ``distance``, ``tiv_alert`` — are
+answered from the live state at any point, which is exactly the paper's
+setting: a distributed system making placement decisions from coordinates
+*while* the measurements that shape them keep arriving.
+
+The rolling severity estimate adapts the paper's §3.1 metric to the
+stream: the offline severity of edge (A, C) averages, over all witnesses
+B, the ratio ``d(A,C) / (d(A,B) + d(B,C))`` clipped below at 1 (non-
+violating witnesses contribute 1).  Here each new observation of (A, C)
+samples up to ``severity_witnesses`` witnesses with known RTTs to both
+endpoints and folds their mean ratio into an EWMA — bounded work per
+event, converging to the offline metric on a static matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.coords.online import OnlineVivaldi, OnlineVivaldiConfig
+from repro.errors import StreamError
+from repro.stats.rng import RngLike, ensure_rng
+from repro.stream.events import Event, MeasurementEvent, NodeJoin, NodeLeave
+
+
+@dataclass(frozen=True)
+class StreamServiceConfig:
+    """Parameters of the streaming service.
+
+    Attributes
+    ----------
+    online:
+        Parameters of the online Vivaldi embedding.
+    alert_threshold:
+        A :meth:`StreamCoordinateService.tiv_alert` query alerts when the
+        predicted/observed delay ratio of the edge falls below this (the
+        coordinate system "shrunk" the edge, the TIV shortcut signature
+        the paper's alert mechanism keys on).
+    severity_witnesses:
+        Witnesses sampled per observation for the rolling severity
+        estimate (bounds per-event work).
+    severity_alpha:
+        EWMA weight of a new severity sample against the running
+        estimate.
+    """
+
+    online: OnlineVivaldiConfig = field(default_factory=OnlineVivaldiConfig)
+    alert_threshold: float = 0.5
+    severity_witnesses: int = 8
+    severity_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alert_threshold < 1:
+            raise StreamError("alert_threshold must lie in (0, 1)")
+        if self.severity_witnesses < 1:
+            raise StreamError("severity_witnesses must be >= 1")
+        if not 0 < self.severity_alpha <= 1:
+            raise StreamError("severity_alpha must lie in (0, 1]")
+
+
+def _edge(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a <= b else (b, a)
+
+
+class StreamCoordinateService:
+    """Event-driven coordinate service over a churning population."""
+
+    def __init__(
+        self,
+        config: StreamServiceConfig | None = None,
+        *,
+        rng: RngLike = None,
+    ):
+        self._config = config if config is not None else StreamServiceConfig()
+        rng = ensure_rng(rng)
+        self._embedding = OnlineVivaldi(self._config.online, rng=rng)
+        self._rng = rng
+        # Live measurement memory: last observed RTT (+ timestamp) per
+        # undirected edge, and per-node adjacency over those edges.
+        self._edge_rtt: dict[tuple[int, int], tuple[float, float]] = {}
+        self._peers: dict[int, set[int]] = {}
+        self._severity: dict[tuple[int, int], float] = {}
+        self._clock = 0.0
+        self._events = 0
+
+    # -- state accessors ------------------------------------------------------
+
+    @property
+    def config(self) -> StreamServiceConfig:
+        return self._config
+
+    @property
+    def embedding(self) -> OnlineVivaldi:
+        """The live online-Vivaldi embedding (shared state, not a copy)."""
+        return self._embedding
+
+    @property
+    def clock(self) -> float:
+        """Timestamp of the latest applied event."""
+        return self._clock
+
+    @property
+    def n_events(self) -> int:
+        """Total events applied."""
+        return self._events
+
+    @property
+    def n_active(self) -> int:
+        return self._embedding.n_active
+
+    @property
+    def n_observed_edges(self) -> int:
+        """Edges with a remembered RTT observation."""
+        return len(self._edge_rtt)
+
+    def active_nodes(self) -> list[int]:
+        return self._embedding.active_nodes()
+
+    # -- event ingestion ------------------------------------------------------
+
+    def apply(self, event: Event) -> None:
+        """Apply one trace event to the live state."""
+        if isinstance(event, MeasurementEvent):
+            self.observe(event.src, event.dst, event.rtt, event.t)
+        elif isinstance(event, NodeJoin):
+            self.join(event.node, event.t)
+        elif isinstance(event, NodeLeave):
+            self.leave(event.node, event.t)
+        else:
+            raise StreamError(f"unknown stream event {event!r}")
+
+    def _advance(self, t: float) -> None:
+        if t < self._clock:
+            raise StreamError(
+                f"event at t={t} arrived after the clock reached {self._clock}; "
+                "traces must be time-ordered"
+            )
+        self._clock = float(t)
+        self._events += 1
+
+    def join(self, node: int, t: float = 0.0) -> None:
+        """Node joined: allocate live state (fresh coordinate, no memory)."""
+        self._advance(t)
+        if self._embedding.is_active(node):
+            raise StreamError(f"node {node} joined twice without leaving")
+        self._embedding.join(node, t)
+        self._peers.setdefault(node, set())
+
+    def leave(self, node: int, t: float = 0.0) -> None:
+        """Node left: drop its coordinate and every edge observation on it.
+
+        Dropping the edges keeps the memory bounded by the *live* edge
+        set and prevents a returning node from inheriting stale evidence
+        recorded before it went away.
+        """
+        self._advance(t)
+        if not self._embedding.is_active(node):
+            raise StreamError(f"node {node} left while not active")
+        self._embedding.leave(node)
+        for peer in self._peers.pop(node, set()):
+            edge = _edge(node, peer)
+            self._edge_rtt.pop(edge, None)
+            self._severity.pop(edge, None)
+            self._peers[peer].discard(node)
+
+    def observe(self, src: int, dst: int, rtt: float, t: float = 0.0) -> None:
+        """Apply one measurement: update coordinates, memory and severity."""
+        self._advance(t)
+        if not self._embedding.is_active(src) or not self._embedding.is_active(dst):
+            missing = src if not self._embedding.is_active(src) else dst
+            raise StreamError(
+                f"measurement {src}->{dst} references inactive node {missing}"
+            )
+        self._embedding.observe(src, dst, rtt, t)
+        if not rtt > 0:
+            return
+        self._edge_rtt[_edge(src, dst)] = (float(rtt), float(t))
+        self._peers[src].add(dst)
+        self._peers[dst].add(src)
+        self._update_severity(src, dst, float(rtt))
+
+    def _update_severity(self, src: int, dst: int, rtt: float) -> None:
+        """Fold one witness sample into the edge's rolling severity."""
+        witnesses = list((self._peers[src] & self._peers[dst]) - {src, dst})
+        if not witnesses:
+            return
+        k = self._config.severity_witnesses
+        if len(witnesses) > k:
+            witnesses.sort()
+            chosen = self._rng.choice(len(witnesses), size=k, replace=False)
+            witnesses = [witnesses[index] for index in chosen]
+        total = 0.0
+        counted = 0
+        for witness in witnesses:
+            side_a = self._edge_rtt.get(_edge(src, witness))
+            side_b = self._edge_rtt.get(_edge(witness, dst))
+            if side_a is None or side_b is None:
+                continue
+            detour = side_a[0] + side_b[0]
+            if detour <= 0:
+                continue
+            # The paper's severity ratio: >1 iff the witness offers a
+            # faster two-hop detour than the direct edge (a TIV).
+            total += max(1.0, rtt / detour)
+            counted += 1
+        if not counted:
+            return
+        sample = total / counted
+        alpha = self._config.severity_alpha
+        previous = self._severity.get(_edge(src, dst))
+        if previous is None:
+            self._severity[_edge(src, dst)] = sample
+        else:
+            self._severity[_edge(src, dst)] = alpha * sample + (1 - alpha) * previous
+
+    # -- live queries ---------------------------------------------------------
+
+    def distance(self, a: int, b: int) -> float:
+        """Predicted delay between two active nodes, from the live embedding."""
+        return self._embedding.distance(a, b)
+
+    def closest(self, node: int, k: int = 1) -> list[tuple[int, float]]:
+        """The ``k`` active nodes predicted closest to ``node``."""
+        return self._embedding.closest(node, k)
+
+    def severity_estimate(self, a: int, b: int) -> float | None:
+        """Rolling TIV-severity estimate of edge (a, b), if any evidence."""
+        return self._severity.get(_edge(a, b))
+
+    def worst_edges(self, count: int = 10) -> list[tuple[tuple[int, int], float]]:
+        """The ``count`` edges with the highest rolling severity estimate."""
+        ranked = sorted(self._severity.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[: int(count)]
+
+    def tiv_alert(self, a: int, b: int) -> dict:
+        """TIV-alert query for edge (a, b) against the live state.
+
+        Returns the predicted/observed ratio (the paper's alert signal:
+        a ratio far below 1 means the embedding shrunk the edge, the
+        signature of a TIV-inflated measurement), whether it crosses the
+        alert threshold, the rolling severity estimate and the age of the
+        supporting observation.
+        """
+        edge = _edge(a, b)
+        observed = self._edge_rtt.get(edge)
+        if observed is None:
+            raise StreamError(
+                f"no observed measurement for edge {edge}; cannot evaluate a TIV alert"
+            )
+        rtt, observed_at = observed
+        predicted = self._embedding.distance(a, b)
+        ratio = predicted / rtt if rtt > 0 else float("nan")
+        return {
+            "edge": edge,
+            "predicted": predicted,
+            "observed": rtt,
+            "ratio": ratio,
+            "alerted": bool(ratio < self._config.alert_threshold),
+            "severity_estimate": self._severity.get(edge),
+            "observation_age": self._clock - observed_at,
+        }
+
+    def staleness(self) -> dict[str, float]:
+        """Summary of per-node coordinate staleness at the current clock."""
+        ages = self._embedding.staleness(self._clock)
+        if not ages:
+            return {"nodes": 0.0, "mean": float("nan"), "max": float("nan")}
+        values = list(ages.values())
+        return {
+            "nodes": float(len(values)),
+            "mean": float(sum(values) / len(values)),
+            "max": float(max(values)),
+        }

@@ -123,6 +123,26 @@ class TestAddressCompatibility:
             "lat",
         }
 
+    def test_deprecated_kernel_kwargs_share_addresses_with_kernels_mapping(self):
+        """A config built through the retired kwargs must address every
+        artefact byte-identically to the equivalent ``kernels`` mapping
+        (the PR 6 deprecation shim may not invalidate warm caches)."""
+        from repro.experiments.config import COORDS_SYSTEMS
+
+        with pytest.warns(DeprecationWarning):
+            legacy = dataclasses.replace(
+                TINY, vivaldi_kernel="reference", coords_kernel="reference"
+            )
+        modern = dataclasses.replace(
+            TINY,
+            kernels={"vivaldi": "reference", **{s: "reference" for s in COORDS_SYSTEMS}},
+        )
+        legacy_plan = resolve_plan(legacy, ["fig15", "fig16", "fig19"])
+        modern_plan = resolve_plan(modern, ["fig15", "fig16", "fig19"])
+        assert {a.key: a.address for a in legacy_plan.graph} == {
+            a.key: a.address for a in modern_plan.graph
+        }
+
     def test_baseline_scenario_shares_addresses_with_plain(self):
         plain = resolve_plan(TINY)
         baseline = resolve_plan(dataclasses.replace(TINY, scenario="baseline"))

@@ -1,10 +1,16 @@
 """Tests for repro.experiments.config and the experiment context."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.experiments.config import PAPER_SCALE, ExperimentConfig
+from repro.experiments.config import (
+    COORDS_SYSTEMS,
+    PAPER_SCALE,
+    ExperimentConfig,
+)
 from repro.experiments.context import ExperimentContext
 
 
@@ -43,28 +49,34 @@ class TestExperimentConfig:
         with pytest.raises(ConfigError):
             ExperimentConfig(meridian_small_count=1)
         with pytest.raises(ConfigError):
-            ExperimentConfig(vivaldi_kernel="turbo")
+            ExperimentConfig(kernels={"vivaldi": "turbo"})
         with pytest.raises(ConfigError):
-            ExperimentConfig(coords_kernel="turbo")
+            ExperimentConfig(kernels={"warp_drive": "batched"})
 
     def test_vivaldi_kernel_threads_to_embedding(self):
         """The configured kernel reaches the context's shared embedding."""
         for kernel in ("batched", "reference"):
             context = ExperimentContext(
-                ExperimentConfig(n_nodes=24, vivaldi_seconds=2, vivaldi_kernel=kernel)
+                ExperimentConfig(
+                    n_nodes=24, vivaldi_seconds=2, kernels={"vivaldi": kernel}
+                )
             )
             assert context.vivaldi.kernel == kernel
 
     def test_coords_kernel_is_part_of_strawman_cache_addresses(self):
         """Both strawman artefact addresses carry the coords kernel.
 
-        Mirrors the vivaldi_kernel contract: entries written by a different
+        Mirrors the vivaldi-kernel contract: entries written by a different
         kernel (or by pre-kernel code) must read as misses, never as stale
         hits.
         """
         contexts = {
             kernel: ExperimentContext(
-                ExperimentConfig(n_nodes=24, vivaldi_seconds=2, coords_kernel=kernel)
+                ExperimentConfig(
+                    n_nodes=24,
+                    vivaldi_seconds=2,
+                    kernels={system: kernel for system in COORDS_SYSTEMS},
+                )
             )
             for kernel in ("batched", "reference")
         }
@@ -83,6 +95,105 @@ class TestExperimentConfig:
         # The Vivaldi step kernel addresses the LAT artefact too (LAT
         # adjusts the converged embedding).
         assert "kernel" in lat_params["batched"]
+
+
+class TestKernelsMapping:
+    """The unified per-system kernel table (PR 6)."""
+
+    def test_default_is_batched_everywhere(self):
+        config = ExperimentConfig()
+        for system in ("vivaldi", "gnp", "ides", "lat", "meridian"):
+            assert config.kernel_for(system) == "batched"
+
+    def test_per_system_override(self):
+        config = ExperimentConfig(kernels={"ides": "reference"})
+        assert config.kernel_for("ides") == "reference"
+        assert config.kernel_for("vivaldi") == "batched"
+        assert config.kernel_for("lat") == "batched"
+
+    def test_default_entry_sets_the_fallback(self):
+        config = ExperimentConfig(kernels={"default": "reference", "gnp": "batched"})
+        assert config.kernel_for("gnp") == "batched"
+        for system in ("vivaldi", "ides", "lat", "meridian"):
+            assert config.kernel_for(system) == "reference"
+
+    def test_kernels_normalized_to_sorted_tuple(self):
+        # The field must stay hashable and order-independent: two configs
+        # with the same mapping are the same config (and cache key).
+        a = ExperimentConfig(kernels={"lat": "reference", "gnp": "reference"})
+        b = ExperimentConfig(kernels={"gnp": "reference", "lat": "reference"})
+        assert a == b
+        assert isinstance(a.kernels, tuple)
+        assert hash(a) == hash(b)
+
+    def test_kernel_for_rejects_unknown_system(self):
+        config = ExperimentConfig()
+        with pytest.raises(ConfigError):
+            config.kernel_for("warp_drive")
+        with pytest.raises(ConfigError):
+            config.kernel_for("default")
+
+    def test_replace_preserves_the_table(self):
+        config = ExperimentConfig(kernels={"vivaldi": "reference"})
+        bumped = dataclasses.replace(config, seed=7)
+        assert bumped.kernel_for("vivaldi") == "reference"
+        assert bumped.seed == 7
+
+
+class TestDeprecatedKernelKwargs:
+    """The retired two-knob API warns but keeps working (PR 6 shim)."""
+
+    def test_vivaldi_kernel_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="vivaldi_kernel"):
+            config = ExperimentConfig(vivaldi_kernel="reference")
+        assert config == ExperimentConfig(kernels={"vivaldi": "reference"})
+
+    def test_coords_kernel_warns_and_maps_to_all_coords_systems(self):
+        with pytest.warns(DeprecationWarning, match="coords_kernel"):
+            config = ExperimentConfig(coords_kernel="reference")
+        assert config == ExperimentConfig(
+            kernels={system: "reference" for system in COORDS_SYSTEMS}
+        )
+        assert config.kernel_for("vivaldi") == "batched"
+
+    def test_deprecated_bad_value_still_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                ExperimentConfig(vivaldi_kernel="turbo")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                ExperimentConfig(coords_kernel="turbo")
+
+    def test_conflicting_explicit_entry_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError, match="conflict"):
+                ExperimentConfig(
+                    vivaldi_kernel="reference", kernels={"vivaldi": "batched"}
+                )
+
+    def test_agreeing_explicit_entry_accepted(self):
+        with pytest.warns(DeprecationWarning):
+            config = ExperimentConfig(
+                vivaldi_kernel="reference", kernels={"vivaldi": "reference"}
+            )
+        assert config.kernel_for("vivaldi") == "reference"
+
+    def test_legacy_attribute_reads_resolve(self):
+        config = ExperimentConfig(kernels={"vivaldi": "reference"})
+        assert config.vivaldi_kernel == "reference"
+        assert config.coords_kernel == "batched"
+
+    def test_ambiguous_coords_kernel_read_rejected(self):
+        config = ExperimentConfig(kernels={"ides": "reference"})
+        with pytest.raises(ConfigError, match="ambiguous"):
+            config.coords_kernel
+
+    def test_replace_does_not_retrigger_the_warning(self, recwarn):
+        config = ExperimentConfig(kernels={"vivaldi": "reference"})
+        dataclasses.replace(config, seed=3)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
 
 
 class TestExperimentContext:

@@ -404,13 +404,40 @@ class TestStrawmanArtifacts:
         assert warm.report.all_cache_hits
 
     def test_reference_coords_kernel_addresses_separate_entries(self, tmp_path):
-        """Switching coords_kernel must miss (and refill) the cache, not
-        reuse the other kernel's artefacts."""
+        """Switching the coords kernels must miss (and refill) the cache,
+        not reuse the other kernel's artefacts."""
         import dataclasses
+
+        from repro.experiments.config import COORDS_SYSTEMS
 
         cache_dir = tmp_path / "artifacts"
         run_experiments(TINY, only=["fig16"], jobs=1, cache_dir=cache_dir)
-        reference = dataclasses.replace(TINY, coords_kernel="reference")
+        reference = dataclasses.replace(
+            TINY, kernels={system: "reference" for system in COORDS_SYSTEMS}
+        )
         outcome = run_experiments(reference, only=["fig16"], jobs=1, cache_dir=cache_dir)
         total = outcome.report.total_cache()
         assert total.misses > 0
+
+    def test_deprecated_kernel_kwargs_hit_the_same_cache(self, tmp_path):
+        """Cross-version warm-cache contract (PR 6): artefacts stored under
+        a config built with the retired ``vivaldi_kernel``/``coords_kernel``
+        kwargs must be served as hits to the equivalent ``kernels``-mapping
+        config — the deprecation shim may not move a single address."""
+        import dataclasses
+
+        from repro.experiments.config import COORDS_SYSTEMS
+
+        cache_dir = tmp_path / "artifacts"
+        with pytest.warns(DeprecationWarning):
+            legacy = dataclasses.replace(
+                TINY, vivaldi_kernel="reference", coords_kernel="reference"
+            )
+        run_experiments(legacy, only=["fig16", "fig19"], jobs=1, cache_dir=cache_dir)
+        modern = dataclasses.replace(
+            TINY,
+            kernels={"vivaldi": "reference", **{s: "reference" for s in COORDS_SYSTEMS}},
+        )
+        assert modern == legacy
+        warm = run_experiments(modern, only=["fig16", "fig19"], jobs=1, cache_dir=cache_dir)
+        assert warm.report.all_cache_hits

@@ -1,0 +1,119 @@
+"""Golden snapshots of the streaming replay trajectory.
+
+The batch golden harness (``test_goldens.py``) pins the figure suite;
+this module pins the *streaming* pipeline the same way: each case
+synthesises a deterministic trace (``repro.stream.synth``), replays it
+through the live coordinate service (``repro.stream.replay``) and
+compares the flattened numeric report — the window-by-window accuracy
+and staleness trajectory, the totals and the live-query answers —
+against a committed snapshot.  Any change to the online Vivaldi update,
+the severity EWMA, the churn handling or the windowing shows up as
+numeric drift here.
+
+Snapshots live in ``snapshots_stream/`` (the figure hygiene test owns
+``snapshots/`` exactly) and update through the same flag::
+
+    python -m pytest tests/golden --update-goldens
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.golden import (
+    compare_summaries,
+    golden_payload,
+    read_golden,
+    write_golden,
+)
+from repro.stats.summary import flatten_numeric
+from repro.stream import replay_trace, synthesize_trace
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots_stream"
+
+#: Same bound as the Vivaldi-backed figure goldens: the online embedding's
+#: iterative dynamics amplify environment-level float noise.
+VIVALDI_RTOL = 5e-3
+
+#: (case name, trace knobs, replay knobs).  One steady-state case, one
+#: churn-heavy case, one under a TIV-heavy ground truth.
+CASES = [
+    (
+        "steady",
+        dict(preset="ds2_like", n_nodes=32, seed=7, duration=30.0, rate=1),
+        dict(window_seconds=10.0),
+    ),
+    (
+        "churny",
+        dict(preset="ds2_like", n_nodes=32, seed=11, duration=40.0, rate=1, churn=0.25),
+        dict(window_seconds=10.0),
+    ),
+    (
+        "heavy_tiv",
+        dict(preset="ds2_like", n_nodes=24, seed=3, duration=30.0, scenario="heavy_tiv"),
+        dict(window_seconds=10.0),
+    ),
+]
+
+
+def snapshot_path(name: str) -> Path:
+    return SNAPSHOT_DIR / f"stream__{name}.json"
+
+
+@pytest.mark.parametrize(
+    "name,trace_kwargs,replay_kwargs", CASES, ids=[case[0] for case in CASES]
+)
+def test_stream_golden(name, trace_kwargs, replay_kwargs, update_goldens):
+    trace = synthesize_trace(**trace_kwargs)
+    report = replay_trace(trace, **replay_kwargs)
+    summary = flatten_numeric(report.as_dict())
+    assert summary, f"stream case {name!r} produced no numeric summary"
+    path = snapshot_path(name)
+
+    if update_goldens:
+        write_golden(
+            path,
+            golden_payload(
+                "stream",
+                name,
+                summary,
+                config={"trace": dict(trace_kwargs), "replay": dict(replay_kwargs)},
+            ),
+        )
+        return
+
+    assert path.exists(), (
+        f"missing stream golden snapshot {path.name}; generate it with "
+        f"`python -m pytest tests/golden --update-goldens` and commit the file"
+    )
+    golden = read_golden(path)
+    assert golden["experiment"] == "stream"
+    assert golden["scenario"] == name
+    drifts = compare_summaries(golden["summary"], summary, rtol=VIVALDI_RTOL)
+    assert not drifts, (
+        f"stream case {name!r} drifted from its golden snapshot "
+        f"({len(drifts)} statistic(s)):\n"
+        + "\n".join(f"  {drift.describe()}" for drift in drifts)
+        + "\nIf the change is intended, rerun with --update-goldens and commit "
+        "the snapshot diff."
+    )
+
+
+class TestStreamSnapshotHygiene:
+    def test_no_orphan_stream_snapshots(self):
+        expected = {snapshot_path(name).name for name, _, _ in CASES}
+        actual = {p.name for p in SNAPSHOT_DIR.glob("*.json")}
+        assert actual == expected
+
+    def test_snapshots_pin_the_trajectory(self):
+        # The whole point of the stream goldens: the snapshot must carry
+        # the per-window accuracy trajectory, not just end-state scalars.
+        for name, _, _ in CASES:
+            golden = read_golden(snapshot_path(name))
+            window_keys = [
+                key
+                for key in golden["summary"]
+                if key.startswith("windows[") and key.endswith("median_relative_error")
+            ]
+            assert len(window_keys) >= 2, name
+            assert "totals.accuracy_improved" in golden["summary"], name

@@ -1,0 +1,152 @@
+"""Unit tests for trace events, validation, persistence and synthesis."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import (
+    MeasurementEvent,
+    NodeJoin,
+    NodeLeave,
+    Trace,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+from repro.stream.events import TRACE_SCHEMA
+
+
+def tiny_truth(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, 50.0, size=(n, 2))
+    return np.sqrt(((points[:, None] - points[None, :]) ** 2).sum(-1))
+
+
+class TestTraceValidation:
+    def test_events_must_be_time_ordered(self):
+        events = [NodeJoin(1.0, 0), MeasurementEvent(0.5, 0, 1, 10.0)]
+        with pytest.raises(StreamError, match="ordered"):
+            Trace(events, tiny_truth(), {})
+
+    def test_node_ids_must_be_in_range(self):
+        events = [NodeJoin(0.0, 99)]
+        with pytest.raises(StreamError):
+            Trace(events, tiny_truth(), {})
+
+    def test_properties(self):
+        events = [
+            NodeJoin(0.0, 0),
+            NodeJoin(0.0, 1),
+            MeasurementEvent(1.5, 0, 1, 12.0),
+            NodeLeave(3.0, 1),
+        ]
+        trace = Trace(events, tiny_truth(), {"preset": "test"})
+        assert trace.n_nodes == 4
+        assert trace.n_events == 4
+        assert trace.duration == pytest.approx(3.0)
+        assert trace.counts() == {"measurements": 1, "joins": 2, "leaves": 1}
+
+
+class TestPersistence:
+    def test_roundtrip_is_exact(self, tmp_path):
+        trace = synthesize_trace(n_nodes=12, seed=5, duration=8.0, churn=0.3)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.events == trace.events
+        assert np.array_equal(
+            loaded.ground_truth, trace.ground_truth, equal_nan=True
+        )
+        assert loaded.meta == trace.meta
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StreamError, match="not found"):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        meta = np.frombuffer(
+            json.dumps({"schema": "other/v9"}).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(
+            path,
+            kind=np.zeros(0, dtype=np.int8),
+            t=np.zeros(0),
+            a=np.zeros(0, dtype=np.int64),
+            b=np.zeros(0, dtype=np.int64),
+            rtt=np.zeros(0),
+            ground_truth=tiny_truth(),
+            meta=meta,
+        )
+        with pytest.raises(StreamError, match=TRACE_SCHEMA.split("/")[0]):
+            load_trace(path)
+
+    def test_non_trace_npz_rejected(self, tmp_path):
+        path = tmp_path / "matrix.npz"
+        np.savez_compressed(path, values=tiny_truth())
+        with pytest.raises(StreamError):
+            load_trace(path)
+
+
+class TestSynthesis:
+    def test_deterministic_per_seed(self):
+        a = synthesize_trace(n_nodes=16, seed=3, duration=10.0, churn=0.25)
+        b = synthesize_trace(n_nodes=16, seed=3, duration=10.0, churn=0.25)
+        assert a.events == b.events
+        assert np.array_equal(a.ground_truth, b.ground_truth, equal_nan=True)
+
+    def test_seeds_differ(self):
+        a = synthesize_trace(n_nodes=16, seed=3, duration=10.0)
+        b = synthesize_trace(n_nodes=16, seed=4, duration=10.0)
+        assert a.events != b.events
+
+    def test_everyone_joins_at_time_zero(self):
+        trace = synthesize_trace(n_nodes=10, seed=0, duration=5.0)
+        joins = [e for e in trace.events if isinstance(e, NodeJoin)]
+        assert {e.node for e in joins} == set(range(10))
+        assert all(e.t == 0.0 for e in joins)
+
+    def test_churn_schedules_leaves_and_rejoins(self):
+        trace = synthesize_trace(n_nodes=20, seed=1, duration=40.0, churn=0.25)
+        counts = trace.counts()
+        assert counts["leaves"] == 5
+        assert counts["joins"] == 25  # 20 initial + 5 rejoins
+        leaves = [e for e in trace.events if isinstance(e, NodeLeave)]
+        assert all(0 < e.t < 40.0 for e in leaves)
+
+    def test_zero_churn_has_no_leaves(self):
+        trace = synthesize_trace(n_nodes=10, seed=0, duration=10.0, churn=0.0)
+        assert trace.counts()["leaves"] == 0
+
+    def test_rate_scales_measurements(self):
+        slow = synthesize_trace(n_nodes=10, seed=0, duration=10.0, rate=1)
+        fast = synthesize_trace(n_nodes=10, seed=0, duration=10.0, rate=3)
+        assert (
+            fast.counts()["measurements"] >= 2.5 * slow.counts()["measurements"]
+        )
+
+    def test_scenario_changes_the_ground_truth(self):
+        plain = synthesize_trace(n_nodes=16, seed=2, duration=5.0)
+        heavy = synthesize_trace(
+            n_nodes=16, seed=2, duration=5.0, scenario="heavy_tiv"
+        )
+        assert not np.array_equal(
+            plain.ground_truth, heavy.ground_truth, equal_nan=True
+        )
+        assert heavy.meta["scenario"] == "heavy_tiv"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_nodes=1),
+            dict(duration=0.0),
+            dict(rate=0),
+            dict(churn=1.5),
+            dict(churn=-0.1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(StreamError):
+            synthesize_trace(**kwargs)

@@ -1,0 +1,233 @@
+"""Unit tests for the per-observation online Vivaldi embedding."""
+
+import numpy as np
+import pytest
+
+from repro.coords.online import OnlineVivaldi, OnlineVivaldiConfig
+from repro.errors import EmbeddingError
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_faithful(self):
+        config = OnlineVivaldiConfig()
+        assert config.dimension == 5
+        assert config.cc == 0.25
+        assert config.ce == 0.25
+        assert config.rho == 150.0
+        assert config.use_height
+        assert config.initial_error == 1.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(dimension=0),
+            dict(cc=0.0),
+            dict(ce=1.5),
+            dict(rho=-1.0),
+            dict(min_height=0.0),
+            dict(initial_error=0.0),
+            dict(min_error=2.0),  # above initial_error
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(EmbeddingError):
+            OnlineVivaldiConfig(**kwargs)
+
+
+class TestMembership:
+    def test_join_initialises_fresh_state(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join("a", t=3.0)
+        assert emb.is_active("a")
+        assert emb.n_active == 1
+        assert np.allclose(emb.coordinate_of("a"), 0.0)
+        assert emb.error_of("a") == emb.config.initial_error
+        assert emb.height_of("a") == emb.config.min_height
+        assert emb.update_count_of("a") == 0
+
+    def test_double_join_rejected(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1)
+        with pytest.raises(EmbeddingError, match="already active"):
+            emb.join(1)
+
+    def test_leave_unknown_rejected(self):
+        emb = OnlineVivaldi(rng=0)
+        with pytest.raises(EmbeddingError, match="not active"):
+            emb.leave(7)
+
+    def test_rejoin_resets_state(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1)
+        emb.join(2)
+        for _ in range(10):
+            emb.observe(1, 2, 40.0, t=1.0)
+        assert emb.update_count_of(1) == 10
+        emb.leave(1)
+        emb.join(1, t=2.0)
+        assert np.allclose(emb.coordinate_of(1), 0.0)
+        assert emb.error_of(1) == emb.config.initial_error
+        assert emb.update_count_of(1) == 0
+
+    def test_capacity_grows_past_initial(self):
+        emb = OnlineVivaldi(rng=0, capacity=2)
+        for node in range(10):
+            emb.join(node)
+        assert emb.n_active == 10
+        assert emb.active_nodes() == list(range(10))
+
+    def test_slots_reused_after_leave(self):
+        emb = OnlineVivaldi(rng=0, capacity=4)
+        for node in range(4):
+            emb.join(node)
+        emb.leave(1)
+        emb.join("returning")  # must reuse slot 1, not grow
+        assert emb.n_active == 4
+        assert emb._coords.shape[0] == 4
+
+
+class TestObservation:
+    def test_observation_moves_only_the_source(self):
+        emb = OnlineVivaldi(OnlineVivaldiConfig(rho=0.0), rng=0)
+        emb.join(1)
+        emb.join(2)
+        emb.observe(1, 2, 50.0, t=1.0)
+        assert np.linalg.norm(emb.coordinate_of(1)) > 0
+        assert np.allclose(emb.coordinate_of(2), 0.0)
+        assert emb.update_count_of(1) == 1
+        assert emb.update_count_of(2) == 0
+
+    def test_observation_of_inactive_node_rejected(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1)
+        with pytest.raises(EmbeddingError, match="not active"):
+            emb.observe(1, 99, 10.0)
+
+    def test_nonpositive_and_nan_rtts_are_ignored(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1)
+        emb.join(2)
+        for rtt in (0.0, -5.0, float("nan"), float("inf")):
+            assert emb.observe(1, 2, rtt) == 0.0
+        assert emb.update_count_of(1) == 0
+
+    def test_error_stays_capped(self):
+        emb = OnlineVivaldi(rng=3)
+        emb.join(1)
+        emb.join(2)
+        # Wildly inconsistent measurements: the error estimate must never
+        # exceed the initial_error cap (the Ledlie et al. max_error rule).
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            emb.observe(1, 2, float(rng.uniform(1.0, 500.0)), t=1.0)
+            assert emb.error_of(1) <= emb.config.initial_error + 1e-12
+
+    def test_height_never_drops_below_floor(self):
+        emb = OnlineVivaldi(rng=5)
+        nodes = list(range(6))
+        for node in nodes:
+            emb.join(node)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            a, b = rng.choice(6, size=2, replace=False)
+            emb.observe(int(a), int(b), float(rng.uniform(5.0, 80.0)))
+        for node in nodes:
+            assert emb.height_of(node) >= emb.config.min_height
+
+    def test_distance_includes_both_heights(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1)
+        emb.join(2)
+        emb.observe(1, 2, 30.0, t=1.0)
+        i, j = emb._slots[1], emb._slots[2]
+        euclid = float(np.linalg.norm(emb._coords[i] - emb._coords[j]))
+        assert emb.distance(1, 2) == pytest.approx(
+            euclid + emb.height_of(1) + emb.height_of(2)
+        )
+        assert emb.distance(1, 1) == 0.0
+
+    def test_rho_gravity_bounds_the_norm(self):
+        # With a tight rho the pull grows quadratically: coordinates
+        # cannot wander far beyond rho even under one-sided measurements.
+        emb = OnlineVivaldi(
+            OnlineVivaldiConfig(rho=50.0, use_height=False), rng=2
+        )
+        emb.join(1)
+        emb.join(2)
+        for _ in range(500):
+            emb.observe(1, 2, 400.0, t=1.0)
+        assert np.linalg.norm(emb.coordinate_of(1)) < 250.0
+
+    def test_reduces_error_on_euclidean_data(self):
+        # A TIV-free metric space must embed well through the pure
+        # per-observation path.
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0.0, 100.0, size=(16, 3))
+        truth = np.sqrt(((points[:, None] - points[None, :]) ** 2).sum(-1))
+        emb = OnlineVivaldi(
+            OnlineVivaldiConfig(use_height=False, rho=0.0), rng=9
+        )
+        for node in range(16):
+            emb.join(node)
+        for _ in range(150):
+            for src in range(16):
+                dst = int(rng.integers(0, 15))
+                dst += dst >= src
+                emb.observe(src, dst, float(truth[src, dst]))
+        errors = [
+            abs(emb.distance(a, b) - truth[a, b]) / truth[a, b]
+            for a in range(16)
+            for b in range(a + 1, 16)
+        ]
+        assert float(np.median(errors)) < 0.1
+
+
+class TestQueries:
+    @pytest.fixture()
+    def localized(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0.0, 100.0, size=(12, 2))
+        truth = np.sqrt(((points[:, None] - points[None, :]) ** 2).sum(-1))
+        emb = OnlineVivaldi(OnlineVivaldiConfig(use_height=False, rho=0.0), rng=1)
+        for node in range(12):
+            emb.join(node)
+        for _ in range(120):
+            for src in range(12):
+                dst = int(rng.integers(0, 11))
+                dst += dst >= src
+                emb.observe(src, dst, float(truth[src, dst]))
+        return emb, truth
+
+    def test_closest_orders_by_predicted_delay(self, localized):
+        emb, _ = localized
+        ranked = emb.closest(0, k=11)
+        assert len(ranked) == 11
+        delays = [delay for _, delay in ranked]
+        assert delays == sorted(delays)
+        assert emb.closest(0, k=1) == ranked[:1]
+
+    def test_distances_from_matches_pairwise_distance(self, localized):
+        emb, _ = localized
+        dists = emb.distances_from(3)
+        assert set(dists) == set(range(12)) - {3}
+        for other, d in dists.items():
+            assert d == pytest.approx(emb.distance(3, other))
+
+    def test_staleness_ages_from_last_update(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1, t=0.0)
+        emb.join(2, t=4.0)
+        emb.observe(1, 2, 20.0, t=10.0)
+        ages = emb.staleness(now=12.0)
+        assert ages[1] == pytest.approx(2.0)  # updated at t=10
+        assert ages[2] == pytest.approx(8.0)  # never updated since joining
+
+    def test_snapshot_is_a_copy(self):
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1)
+        emb.join(2)
+        emb.observe(1, 2, 25.0, t=1.0)
+        snap = emb.snapshot()
+        snap["coordinates"][:] = 0.0
+        assert np.linalg.norm(emb.coordinate_of(1)) > 0
+        assert snap["nodes"] == [1, 2]

@@ -1,0 +1,200 @@
+"""Unit tests for the live streaming coordinate service."""
+
+import numpy as np
+import pytest
+
+from repro.coords.online import OnlineVivaldiConfig
+from repro.errors import StreamError
+from repro.stream import (
+    MeasurementEvent,
+    NodeJoin,
+    NodeLeave,
+    StreamCoordinateService,
+    StreamServiceConfig,
+)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(alert_threshold=0.0),
+            dict(alert_threshold=1.0),
+            dict(severity_witnesses=0),
+            dict(severity_alpha=0.0),
+            dict(severity_alpha=1.5),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(StreamError):
+            StreamServiceConfig(**kwargs)
+
+
+class TestEventHandling:
+    def test_apply_dispatches_by_event_type(self):
+        service = StreamCoordinateService(rng=0)
+        service.apply(NodeJoin(0.0, 1))
+        service.apply(NodeJoin(0.0, 2))
+        service.apply(MeasurementEvent(1.0, 1, 2, 20.0))
+        service.apply(NodeLeave(2.0, 2))
+        assert service.n_active == 1
+        assert service.n_events == 4
+        assert service.clock == 2.0
+
+    def test_unknown_event_rejected(self):
+        service = StreamCoordinateService(rng=0)
+        with pytest.raises(StreamError, match="unknown stream event"):
+            service.apply(("not", "an", "event"))
+
+    def test_time_regression_rejected(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1, t=5.0)
+        with pytest.raises(StreamError, match="time-ordered"):
+            service.join(2, t=4.0)
+
+    def test_double_join_rejected(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        with pytest.raises(StreamError, match="joined twice"):
+            service.join(1)
+
+    def test_leave_of_inactive_rejected(self):
+        service = StreamCoordinateService(rng=0)
+        with pytest.raises(StreamError, match="not active"):
+            service.leave(3)
+
+    def test_measurement_on_inactive_node_rejected(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        with pytest.raises(StreamError, match="inactive node 2"):
+            service.observe(1, 2, 10.0)
+
+
+class TestEdgeMemory:
+    def test_observation_is_remembered(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        service.join(2)
+        service.observe(1, 2, 33.0, t=1.0)
+        assert service.n_observed_edges == 1
+        verdict = service.tiv_alert(2, 1)  # undirected: order must not matter
+        assert verdict["observed"] == 33.0
+        assert verdict["edge"] == (1, 2)
+
+    def test_leave_drops_the_nodes_edges(self):
+        service = StreamCoordinateService(rng=0)
+        for node in (1, 2, 3):
+            service.join(node)
+        service.observe(1, 2, 10.0, t=1.0)
+        service.observe(2, 3, 15.0, t=2.0)
+        service.observe(1, 3, 20.0, t=3.0)
+        assert service.n_observed_edges == 3
+        service.leave(2, t=4.0)
+        assert service.n_observed_edges == 1  # only (1, 3) survives
+        with pytest.raises(StreamError, match="no observed measurement"):
+            service.tiv_alert(1, 2)
+
+    def test_alert_requires_an_observation(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        service.join(2)
+        with pytest.raises(StreamError, match="no observed measurement"):
+            service.tiv_alert(1, 2)
+
+
+class TestSeverity:
+    def make_tiv_service(self):
+        """A 3-node population with one blatant TIV on edge (0, 2).
+
+        d(0,1) = d(1,2) = 5 but d(0,2) = 100: witness 1 offers a 10 ms
+        detour, severity ratio 10.
+        """
+        service = StreamCoordinateService(rng=0)
+        for node in (0, 1, 2):
+            service.join(node)
+        t = 1.0
+        for _ in range(5):
+            service.observe(0, 1, 5.0, t=t)
+            service.observe(1, 2, 5.0, t=t + 0.1)
+            service.observe(0, 2, 100.0, t=t + 0.2)
+            t += 1.0
+        return service
+
+    def test_rolling_severity_converges_to_the_ratio(self):
+        service = self.make_tiv_service()
+        estimate = service.severity_estimate(0, 2)
+        assert estimate == pytest.approx(10.0)
+
+    def test_non_violating_edges_estimate_one(self):
+        service = self.make_tiv_service()
+        # Edge (0, 1) has detour 105 via witness 2 — no violation, so
+        # every sample clips to 1.
+        assert service.severity_estimate(0, 1) == pytest.approx(1.0)
+
+    def test_worst_edges_ranks_the_tiv_first(self):
+        service = self.make_tiv_service()
+        worst = service.worst_edges(2)
+        assert worst[0][0] == (0, 2)
+        assert worst[0][1] > worst[1][1]
+
+    def test_no_estimate_without_witnesses(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        service.join(2)
+        service.observe(1, 2, 10.0, t=1.0)
+        assert service.severity_estimate(1, 2) is None
+
+    def test_tiv_edge_alerts(self):
+        # The embedding cannot place the TIV edge at 100 while its
+        # endpoints sit 5 ms from the shared witness: the predicted
+        # delay collapses and the predicted/observed ratio crosses the
+        # alert threshold.
+        service = self.make_tiv_service()
+        verdict = service.tiv_alert(0, 2)
+        assert verdict["ratio"] < 0.5
+        assert verdict["alerted"]
+        assert verdict["severity_estimate"] == pytest.approx(10.0)
+
+
+class TestQueries:
+    def test_closest_and_distance_reflect_the_embedding(self):
+        rng = np.random.default_rng(6)
+        points = rng.uniform(0.0, 80.0, size=(10, 2))
+        truth = np.sqrt(((points[:, None] - points[None, :]) ** 2).sum(-1))
+        service = StreamCoordinateService(
+            StreamServiceConfig(
+                online=OnlineVivaldiConfig(use_height=False, rho=0.0)
+            ),
+            rng=1,
+        )
+        for node in range(10):
+            service.join(node)
+        t = 1.0
+        for _ in range(100):
+            for src in range(10):
+                dst = int(rng.integers(0, 9))
+                dst += dst >= src
+                service.observe(src, dst, float(truth[src, dst]), t=t)
+                t += 0.001
+        node, predicted = service.closest(0, k=1)[0]
+        assert predicted == pytest.approx(service.distance(0, node))
+        # The embedding's nearest neighbour should be among the true
+        # nearest few (exact rank-1 agreement is not guaranteed).
+        true_rank = np.argsort(truth[0])[1:4]
+        assert node in true_rank
+
+    def test_staleness_summary(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1, t=0.0)
+        service.join(2, t=0.0)
+        service.observe(1, 2, 10.0, t=8.0)
+        stats = service.staleness()
+        assert stats["nodes"] == 2.0
+        assert stats["max"] == pytest.approx(8.0)  # node 2 never updated
+        assert stats["mean"] == pytest.approx(4.0)
+
+    def test_empty_service_staleness(self):
+        service = StreamCoordinateService(rng=0)
+        stats = service.staleness()
+        assert stats["nodes"] == 0.0
+        assert np.isnan(stats["mean"])

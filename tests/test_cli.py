@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 
 
@@ -9,6 +11,15 @@ def run_cli(capsys, *argv):
     code = main(list(argv))
     captured = capsys.readouterr()
     return code, captured.out, captured.err
+
+
+def capture_help(capsys, monkeypatch, *argv):
+    """The --help text of one (sub)command, at a pinned terminal width."""
+    monkeypatch.setenv("COLUMNS", "80")
+    with pytest.raises(SystemExit) as excinfo:
+        main([*argv, "--help"])
+    assert excinfo.value.code == 0
+    return capsys.readouterr().out
 
 
 class TestDatasetsCommand:
@@ -286,6 +297,180 @@ class TestGraphCommand:
         code, _, err = run_cli(capsys, "graph", "--experiment", "fig99")
         assert code == 1
         assert "unknown experiments" in err
+
+
+class TestStreamCommands:
+    def make_trace(self, capsys, tmp_path, *extra):
+        target = tmp_path / "trace.npz"
+        code, out, _ = run_cli(
+            capsys,
+            "make-trace",
+            "-o",
+            str(target),
+            "--nodes",
+            "24",
+            "--duration",
+            "20",
+            "--churn",
+            "0.2",
+            *extra,
+        )
+        assert code == 0
+        assert target.exists()
+        return target, out
+
+    def test_make_trace_writes_and_summarises(self, capsys, tmp_path):
+        target, out = self.make_trace(capsys, tmp_path)
+        assert "24-node trace" in out
+        assert "joins" in out and "leaves" in out
+
+    def test_stream_replays_and_reports(self, capsys, tmp_path):
+        target, _ = self.make_trace(capsys, tmp_path)
+        report_path = tmp_path / "STREAM_report.json"
+        code, out, err = run_cli(
+            capsys,
+            "stream",
+            "--trace",
+            str(target),
+            "--window",
+            "5",
+            "--report",
+            str(report_path),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "stream-report/v1"
+        assert payload["window_seconds"] == 5.0
+        assert len(payload["windows"]) == 4
+        assert payload["totals"]["final_active_nodes"] == 24
+        assert payload["queries"]["closest"]
+        assert "wrote stream report" in err
+        on_disk = json.loads(report_path.read_text())
+        assert on_disk["totals"] == payload["totals"]
+
+    def test_stream_accuracy_improves_on_the_cli_path(self, capsys, tmp_path):
+        target, _ = self.make_trace(capsys, tmp_path)
+        code, out, _ = run_cli(capsys, "stream", "--trace", str(target))
+        assert code == 0
+        assert json.loads(out)["totals"]["accuracy_improved"] is True
+
+    def test_stream_missing_trace_fails_cleanly(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "stream", "--trace", str(tmp_path / "no.npz"))
+        assert code == 1
+        assert "not found" in err
+
+    def test_make_trace_rejects_bad_churn(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "make-trace",
+            "-o",
+            str(tmp_path / "t.npz"),
+            "--churn",
+            "2.0",
+        )
+        assert code == 1
+        assert "churn" in err
+
+
+class TestHelpSnapshots:
+    """The CLI surface is a contract: the command list, the new stream
+    commands' usage and the shared parent-parser flags are pinned exactly
+    (at an 80-column terminal)."""
+
+    COMMAND_LIST = (
+        "{datasets,generate,analyze,experiments,run,run-all,graph,cache,"
+        "scenarios,run-scenarios,make-trace,stream,bench,perf-gate,report}"
+    )
+
+    MAKE_TRACE_USAGE = (
+        "usage: repro make-trace [-h] [--nodes NODES] [--seed SEED]\n"
+        "                        [--preset {ds2_like,euclidean_like,meridian_like,"
+        "p2psim_like,planetlab_like,uniform_euclidean}]\n"
+        "                        [--scenario SCENARIO] [--duration DURATION]\n"
+        "                        [--rate RATE] [--churn CHURN] -o OUTPUT\n"
+    )
+
+    STREAM_USAGE = (
+        "usage: repro stream [-h] [--report REPORT] --trace TRACE "
+        "[--window WINDOW]\n"
+        "                    [--alert-threshold ALERT_THRESHOLD] [--seed SEED]\n"
+    )
+
+    RUN_ALL_USAGE = (
+        "usage: repro run-all [-h] [--nodes NODES] [--seed SEED] [--jobs JOBS]\n"
+        "                     [--cache-dir CACHE_DIR] [--report REPORT]\n"
+        "                     [--only ONLY [ONLY ...]] [--scenario SCENARIO] "
+        "[--full]\n"
+    )
+
+    def test_top_level_command_list_pinned(self, capsys, monkeypatch):
+        out = capture_help(capsys, monkeypatch)
+        assert self.COMMAND_LIST in out.replace("\n             ", "")
+
+    def test_make_trace_usage_pinned(self, capsys, monkeypatch):
+        out = capture_help(capsys, monkeypatch, "make-trace")
+        assert out.startswith(self.MAKE_TRACE_USAGE)
+
+    def test_stream_usage_pinned(self, capsys, monkeypatch):
+        out = capture_help(capsys, monkeypatch, "stream")
+        assert out.startswith(self.STREAM_USAGE)
+
+    def test_run_all_usage_pinned(self, capsys, monkeypatch):
+        out = capture_help(capsys, monkeypatch, "run-all")
+        assert out.startswith(self.RUN_ALL_USAGE)
+
+    @staticmethod
+    def option_help(text, flag):
+        """The help paragraph of one option in a --help dump."""
+        lines = text.splitlines()
+        start = next(
+            i for i, line in enumerate(lines) if line.lstrip().startswith(flag)
+        )
+        block = [lines[start]]
+        for line in lines[start + 1 :]:
+            if line.startswith("                    ") and not line.lstrip().startswith("--"):
+                block.append(line)
+            else:
+                break
+        # Collapse the column padding: argparse aligns the help column per
+        # subparser, so only the words are comparable across commands.
+        return " ".join(" ".join(block).split())
+
+    def test_shared_flags_render_identically_everywhere(self, capsys, monkeypatch):
+        """The parent parsers are the single source of each shared flag:
+        every subcommand using --jobs/--cache-dir/--nodes must show the
+        byte-identical help text."""
+        helps = {
+            command: capture_help(capsys, monkeypatch, *command.split())
+            for command in (
+                "run-all",
+                "run-scenarios",
+                "graph",
+                "cache prune",
+                "run",
+                "report",
+            )
+        }
+        for flag, commands in (
+            ("--jobs", ("run-all", "run-scenarios")),
+            ("--cache-dir", ("run-all", "run-scenarios", "graph", "cache prune")),
+            ("--nodes", ("run-all", "run-scenarios", "graph", "run", "report")),
+            ("--seed", ("run-all", "run-scenarios", "graph", "run", "report")),
+            ("--only", ("run-all", "run-scenarios", "report")),
+        ):
+            rendered = {self.option_help(helps[c], flag) for c in commands}
+            assert len(rendered) == 1, f"{flag} help text diverged: {rendered}"
+
+    def test_report_flag_names_the_per_command_artifact(self, capsys, monkeypatch):
+        # --report shares one template but names each command's artifact.
+        for command, artifact in (
+            ("run-all", "BENCH_experiments.json"),
+            ("run-scenarios", "BENCH_scenarios.json"),
+            ("bench", "BENCH_perf.json"),
+            ("stream", "STREAM_report.json"),
+        ):
+            out = capture_help(capsys, monkeypatch, command)
+            assert artifact in self.option_help(out, "--report")
 
 
 class TestCachePruneCommand:
