@@ -313,6 +313,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import ServingWorkload, run_serving_benchmark
+    from repro.serve.workload import FAMILIES
+
+    try:
+        sizes = [int(part) for part in args.sizes.split(",") if part.strip()]
+    except ValueError:
+        print(f"error: --sizes must be comma-separated integers, got {args.sizes!r}",
+              file=sys.stderr)
+        return 1
+    workload = ServingWorkload(
+        n_nodes=sizes[0] if sizes else 96,
+        seed=args.seed,
+        preset=args.preset,
+        scenario=args.scenario,
+        warm_duration=args.warm_duration,
+        churn=args.churn,
+        families=tuple(args.families) if args.families else FAMILIES,
+        batch=args.batch,
+        batches=args.batches,
+        warmup_batches=args.warmup_batches,
+        workers=args.workers,
+        k=args.k,
+    )
+    report = run_serving_benchmark(workload, sizes=sizes or None)
+    _print_json(report.as_dict())
+    if args.report:
+        report.write(args.report)
+        print(f"wrote serving report to {args.report}", file=sys.stderr)
+    return 0
+
+
 def _cmd_perf_gate(args: argparse.Namespace) -> int:
     from repro.perf.gate import (
         compare_reports,
@@ -681,6 +713,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=_cmd_bench)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="fire query load at a warm live service and write BENCH_serving.json "
+        "(QPS + p50/p95/p99 per query family)",
+        parents=[_report_parent("BENCH_serving.json")],
+    )
+    serve_bench.add_argument(
+        "--sizes",
+        default="96",
+        help="comma-separated node counts to serve at (default: 96)",
+    )
+    serve_bench.add_argument(
+        "--preset",
+        choices=available_datasets(),
+        default="ds2_like",
+        help="dataset preset behind the warm trace's ground truth",
+    )
+    serve_bench.add_argument(
+        "--scenario",
+        default=None,
+        help="library scenario shaping the ground truth (see 'scenarios')",
+    )
+    serve_bench.add_argument(
+        "--warm-duration",
+        type=float,
+        default=30.0,
+        help="simulated seconds of trace replayed before timing (default: 30)",
+    )
+    serve_bench.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="fraction of nodes that leave and rejoin during warm-up (default: 0)",
+    )
+    serve_bench.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        help="query families to measure (default: closest distance tiv_alert "
+        "meridian_closest)",
+    )
+    serve_bench.add_argument(
+        "--batch", type=int, default=64, help="queries per batch (default: 64)"
+    )
+    serve_bench.add_argument(
+        "--batches",
+        type=int,
+        default=8,
+        help="timed batches per family and mode (default: 8)",
+    )
+    serve_bench.add_argument(
+        "--warmup-batches",
+        type=int,
+        default=1,
+        help="untimed warm-up batches (default: 1)",
+    )
+    serve_bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes firing the load (default: 1, in-process)",
+    )
+    serve_bench.add_argument(
+        "--k", type=int, default=3, help="neighbours per closest query (default: 3)"
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=0, help="seed of the warm trace and query streams"
+    )
+    serve_bench.set_defaults(func=_cmd_serve_bench)
 
     perf_gate = sub.add_parser(
         "perf-gate",

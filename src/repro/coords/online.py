@@ -35,6 +35,18 @@ from repro.errors import EmbeddingError
 from repro.stats.rng import RngLike, ensure_rng
 
 
+def _tie_key(node):
+    """Deterministic tie-break key for equal predicted delays.
+
+    Integer ids compare numerically (so node 2 ranks before node 10);
+    everything else falls back to its string form, ordered after the
+    integers so mixed populations still have a total order.
+    """
+    if isinstance(node, (int, np.integer)) and not isinstance(node, bool):
+        return (0, int(node))
+    return (1, str(node))
+
+
 @dataclass(frozen=True)
 class OnlineVivaldiConfig:
     """Parameters of the online coordinate update.
@@ -120,6 +132,10 @@ class OnlineVivaldi:
         self._slots: dict = {}
         self._free: list[int] = []
         self._observations = 0
+        # Sorted (ids, slots) arrays over the active population, rebuilt
+        # lazily after membership changes: the batch query path gathers
+        # against these instead of re-scanning the slot dict per query.
+        self._active_cache: tuple | None = None
 
     # -- membership -----------------------------------------------------------
 
@@ -138,8 +154,13 @@ class OnlineVivaldi:
         return self._observations
 
     def active_nodes(self) -> list:
-        """Identifiers of the active nodes, sorted."""
-        return sorted(self._slots)
+        """Identifiers of the active nodes, sorted.
+
+        Integer ids sort numerically, anything else by string form after
+        the integers — the same total order the query tie-break uses, so
+        mixed-type populations are supported everywhere.
+        """
+        return sorted(self._slots, key=_tie_key)
 
     def is_active(self, node) -> bool:
         return node in self._slots
@@ -185,6 +206,7 @@ class OnlineVivaldi:
         self._last_update[slot] = float(t)
         self._update_counts[slot] = 0
         self._slots[node] = slot
+        self._active_cache = None
 
     def leave(self, node) -> None:
         """Remove ``node`` from the live population, freeing its slot."""
@@ -192,6 +214,7 @@ class OnlineVivaldi:
         if slot is None:
             raise EmbeddingError(f"node {node!r} is not active")
         self._free.append(slot)
+        self._active_cache = None
 
     # -- the per-observation update -------------------------------------------
 
@@ -287,7 +310,10 @@ class OnlineVivaldi:
         if a == b:
             return 0.0
         i, j = self._slot_of(a), self._slot_of(b)
-        dist = float(np.linalg.norm(self._coords[i] - self._coords[j]))
+        # Same einsum formulation as the batch paths (norm() differs from
+        # it in the last bits), so scalar and batch answers bit-match.
+        diff = self._coords[i] - self._coords[j]
+        dist = float(np.sqrt(np.einsum("i,i->", diff, diff)))
         if self._config.use_height:
             dist += float(self._heights[i] + self._heights[j])
         return dist
@@ -314,18 +340,144 @@ class OnlineVivaldi:
         if k < 1:
             raise EmbeddingError("k must be >= 1")
         dists = self.distances_from(node)
-        ranked = sorted(dists.items(), key=lambda item: (item[1], str(item[0])))
+        ranked = sorted(dists.items(), key=lambda item: (item[1], _tie_key(item[0])))
         return ranked[: int(k)]
+
+    # -- batch queries (the serving hot path) ---------------------------------
+
+    def _active_arrays(self) -> tuple[list, np.ndarray | None, np.ndarray]:
+        """``(ids, int_ids, slots)`` over the active population, sorted by id.
+
+        ``int_ids`` is an int64 array when every id is an integer (the
+        vectorised tie-break path), ``None`` otherwise.  Cached until the
+        next join/leave.
+        """
+        if self._active_cache is None:
+            nodes = self.active_nodes()
+            slots = np.fromiter(
+                (self._slots[n] for n in nodes), dtype=np.int64, count=len(nodes)
+            )
+            all_int = all(
+                isinstance(n, (int, np.integer)) and not isinstance(n, bool)
+                for n in nodes
+            )
+            ids = np.asarray(nodes, dtype=np.int64) if all_int and nodes else None
+            self._active_cache = (nodes, ids, slots)
+        return self._active_cache
+
+    def _distances_to_active(self, q_slots: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """``(Q, N)`` predicted delays from query slots to active slots.
+
+        The op sequence (subtract, einsum, sqrt, add heights row-wise then
+        column-wise) mirrors :meth:`distances_from` exactly, so every
+        entry is bit-identical to the scalar query for that pair.
+        """
+        diff = self._coords[slots][None, :, :] - self._coords[q_slots][:, None, :]
+        dists = np.sqrt(np.einsum("qnd,qnd->qn", diff, diff))
+        if self._config.use_height:
+            dists = dists + self._heights[slots][None, :]
+            dists = dists + self._heights[q_slots][:, None]
+        return dists
+
+    def distances_matrix(self, nodes) -> tuple[list, np.ndarray]:
+        """Predicted delays from each query node to every active node.
+
+        Returns ``(active, matrix)``: ``active`` is the sorted active id
+        list and ``matrix[q, j]`` the predicted delay between query node
+        ``nodes[q]`` and ``active[j]`` (0.0 for the query node itself).
+        One einsum over all active slots answers the whole batch;
+        per-pair values bit-match :meth:`distances_from`.
+        """
+        nodes = list(nodes)
+        active, _, slots = self._active_arrays()
+        q_slots = np.fromiter(
+            (self._slot_of(n) for n in nodes), dtype=np.int64, count=len(nodes)
+        )
+        if not nodes:
+            return list(active), np.zeros((0, len(active)))
+        dists = self._distances_to_active(q_slots, slots)
+        position = {n: index for index, n in enumerate(active)}
+        for qi, node in enumerate(nodes):
+            dists[qi, position[node]] = 0.0
+        return list(active), dists
+
+    def closest_batch(self, nodes, k: int = 1) -> list[list[tuple[object, float]]]:
+        """Batch :meth:`closest`: the ``k`` nearest active nodes per query.
+
+        One distance matrix plus one lexsort per query row answers the
+        whole batch; ids, predicted delays and tie-breaking are identical
+        to per-query :meth:`closest` calls.  Populations with non-integer
+        ids fall back to the scalar path per query.
+        """
+        if k < 1:
+            raise EmbeddingError("k must be >= 1")
+        nodes = list(nodes)
+        if not nodes:
+            return []
+        active, ids, slots = self._active_arrays()
+        if ids is None:
+            return [self.closest(node, k) for node in nodes]
+        q_slots = np.fromiter(
+            (self._slot_of(n) for n in nodes), dtype=np.int64, count=len(nodes)
+        )
+        dists = self._distances_to_active(q_slots, slots)
+        take = min(int(k), len(active) - 1)
+        out: list[list[tuple[object, float]]] = []
+        for qi, node in enumerate(nodes):
+            row = dists[qi]
+            row[int(np.searchsorted(ids, node))] = np.inf  # exclude the query node
+            order = np.lexsort((ids, row))[:take]
+            out.append([(int(ids[t]), float(row[t])) for t in order])
+        return out
+
+    def distance_batch(self, pairs) -> np.ndarray:
+        """Predicted delays for a batch of ``(a, b)`` node pairs.
+
+        One gathered einsum over all pairs; each value bit-matches
+        :meth:`distance` (0.0 for self-pairs).
+        """
+        pairs = [(a, b) for a, b in pairs]
+        if not pairs:
+            return np.zeros(0)
+        a_slots = np.fromiter(
+            (self._slot_of(a) for a, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        b_slots = np.fromiter(
+            (self._slot_of(b) for _, b in pairs), dtype=np.int64, count=len(pairs)
+        )
+        diff = self._coords[a_slots] - self._coords[b_slots]
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if self._config.use_height:
+            dists = dists + (self._heights[a_slots] + self._heights[b_slots])
+        same = np.fromiter((a == b for a, b in pairs), dtype=bool, count=len(pairs))
+        dists[same] = 0.0
+        return dists
 
     def staleness(self, now: float) -> dict:
         """Per-node seconds since the last coordinate update.
 
         Nodes that joined but were never updated report their age since
-        joining.  Raises for ``now`` earlier than the latest update.
+        joining.
+
+        Raises
+        ------
+        EmbeddingError
+            If ``now`` is earlier than the latest update (or join) among
+            the active nodes: ages would come out negative, meaning the
+            caller's clock is behind the embedding's.
         """
+        now = float(now)
         out = {}
+        latest = -np.inf
         for node, slot in self._slots.items():
-            out[node] = float(now) - float(self._last_update[slot])
+            last = float(self._last_update[slot])
+            latest = max(latest, last)
+            out[node] = now - last
+        if out and now < latest:
+            raise EmbeddingError(
+                f"staleness queried at now={now}, earlier than the latest "
+                f"update at t={latest}; ages would be negative"
+            )
         return out
 
     def snapshot(self) -> dict:

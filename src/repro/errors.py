@@ -55,3 +55,8 @@ class ConfigError(ReproError):
 class StreamError(ReproError):
     """Raised by the streaming coordinate service for malformed traces or
     invalid live-state queries."""
+
+
+class ServeError(ReproError):
+    """Raised by the query-serving benchmark harness for invalid workloads
+    or malformed serving reports."""

@@ -299,7 +299,12 @@ class MeridianOverlay:
         new: list[int] = []
         for member in members:
             if member == target:
+                # Cache the trivial self-delay too: if the query advances
+                # to the target (a Meridian-node target appearing in a
+                # hop's rings), the hop loop reads probed_delay[current]
+                # and must find it rather than crash.
                 delays[member] = 0.0
+                probed_delay[member] = 0.0
             elif member in probed_delay:
                 delays[member] = probed_delay[member]
             else:
@@ -422,3 +427,189 @@ class MeridianOverlay:
             hops=hops,
             restarted=restarted,
         )
+
+    # -- the multi-query batch search ------------------------------------------
+
+    def closest_neighbor_query_batch(
+        self,
+        targets: Sequence[int],
+        *,
+        start_nodes: Optional[Sequence[int]] = None,
+        max_hops: int = 64,
+    ) -> list[QueryResult]:
+        """Run the recursive closest-neighbour query for a batch of targets.
+
+        The queries advance in lock-step: each round, the still-active
+        queries are grouped by the Meridian node they currently sit at and
+        each group's un-probed ring-member delays are fetched with *one*
+        two-dimensional matrix gather shared across the group's targets —
+        the serving hot path — instead of one per-query ring gather.
+
+        Results (selected node, probe counts, hops, tie-breaking) are
+        identical to calling :meth:`closest_neighbor_query` once per
+        target in order, including RNG consumption when ``start_nodes``
+        is omitted.  Restart policies are per-query control flow and are
+        not supported on the batch path.
+        """
+        targets = [int(t) for t in targets]
+        for target in targets:
+            if not 0 <= target < self._matrix.n_nodes:
+                raise MeridianError(f"target {target} is not in the delay matrix")
+        if start_nodes is None:
+            starts = [
+                self._meridian_ids[int(self._rng.integers(0, len(self._meridian_ids)))]
+                for _ in targets
+            ]
+        else:
+            starts = [int(s) for s in start_nodes]
+            if len(starts) != len(targets):
+                raise MeridianError(
+                    f"start_nodes has {len(starts)} entries for {len(targets)} targets"
+                )
+            for start in starts:
+                if start not in self._meridian_set:
+                    raise MeridianError(f"start node {start} is not a Meridian node")
+        if not targets:
+            return []
+
+        config = self._config
+        measured = self._delays[
+            np.asarray(starts, dtype=np.int64), np.asarray(targets, dtype=np.int64)
+        ]
+        initial = np.where(np.isfinite(measured), measured, np.inf)
+        states = [
+            _BatchQueryState(target, start, float(d0)) for target, start, d0 in zip(targets, starts, initial)
+        ]
+
+        for _ in range(max_hops):
+            live = [state for state in states if not state.done]
+            if not live:
+                break
+            groups: dict[int, list[_BatchQueryState]] = {}
+            for state in live:
+                groups.setdefault(state.current, []).append(state)
+            for node_id, group in groups.items():
+                node = self._nodes[node_id]
+                group_candidates = [
+                    node.eligible_members(state.current_delay) for state in group
+                ]
+                # One gather covers every (member, target) pair any query
+                # of this group still needs measured.
+                union = sorted(
+                    {
+                        member
+                        for state, candidates in zip(group, group_candidates)
+                        for member in candidates
+                        if member != state.target and member not in state.probed
+                    }
+                )
+                if union:
+                    sub = self._delays[
+                        np.asarray(union, dtype=np.int64)[:, None],
+                        np.asarray([state.target for state in group], dtype=np.int64)[None, :],
+                    ]
+                    sub = np.where(np.isfinite(sub), sub, np.inf)
+                else:
+                    sub = None
+                member_row = {member: row for row, member in enumerate(union)}
+                for col, (state, candidates) in enumerate(zip(group, group_candidates)):
+                    state.step(
+                        candidates,
+                        sub[:, col] if sub is not None else None,
+                        member_row,
+                        config,
+                    )
+
+        results = []
+        for state in states:
+            best_node, best_delay = state.best_node, state.best_delay
+            if best_node == state.target and len(state.probed) > 1:
+                others = {k: v for k, v in state.probed.items() if k != state.target}
+                best_node = min(others, key=others.get)
+                best_delay = others[best_node]
+            optimal, optimal_delay = self.true_closest(state.target)
+            results.append(
+                QueryResult(
+                    target=state.target,
+                    selected=best_node,
+                    selected_delay=float(best_delay),
+                    optimal=optimal,
+                    optimal_delay=float(optimal_delay),
+                    probes=state.probes,
+                    hops=state.hops,
+                    restarted=False,
+                )
+            )
+        return results
+
+
+class _BatchQueryState:
+    """Per-query bookkeeping of the lock-step batch search.
+
+    Mirrors the loop-local state of :meth:`MeridianOverlay.closest_neighbor_query`
+    exactly; :meth:`step` is one hop decision with the member delays served
+    from the group's shared gather.
+    """
+
+    __slots__ = (
+        "target",
+        "current",
+        "current_delay",
+        "best_node",
+        "best_delay",
+        "probed",
+        "hops",
+        "probes",
+        "done",
+    )
+
+    def __init__(self, target: int, start: int, start_delay: float):
+        self.target = target
+        self.current = start
+        self.current_delay = start_delay
+        self.best_node = start
+        self.best_delay = start_delay
+        self.probed: dict[int, float] = {start: start_delay}
+        self.hops = [start]
+        self.probes = 1
+        self.done = False
+
+    def step(
+        self,
+        candidates: Sequence[int],
+        gathered_column: Optional[np.ndarray],
+        member_row: dict[int, int],
+        config: MeridianConfig,
+    ) -> None:
+        candidate_delays: dict[int, float] = {}
+        for member in candidates:
+            if member == self.target:
+                candidate_delays[member] = 0.0
+                self.probed[member] = 0.0
+            elif member in self.probed:
+                candidate_delays[member] = self.probed[member]
+            else:
+                value = float(gathered_column[member_row[member]])
+                self.probed[member] = value
+                candidate_delays[member] = value
+                self.probes += 1
+
+        next_node: Optional[int] = None
+        if candidate_delays:
+            closest_member = min(candidate_delays, key=candidate_delays.get)
+            closest_delay = candidate_delays[closest_member]
+            if closest_delay < self.best_delay:
+                self.best_node, self.best_delay = closest_member, closest_delay
+            if config.use_termination:
+                advance = closest_delay <= config.beta * self.current_delay
+            else:
+                advance = closest_delay < self.current_delay
+            if advance and closest_member != self.current:
+                next_node = closest_member
+
+        if next_node is None:
+            self.done = True
+        else:
+            self.current = next_node
+            self.current_delay = self.probed[next_node]
+            self.hops.append(next_node)

@@ -23,9 +23,15 @@ from typing import Optional
 
 from repro.perf.bench import SCHEMA
 from repro.perf.kernels import BenchmarkError
+from repro.serve.report import SERVING_SCHEMA
 
 #: Default regression threshold (current/baseline best time) for CI.
 DEFAULT_THRESHOLD = 2.5
+
+#: Report schemas the gate can compare: the kernel bench and the serving
+#: bench share the ``kernels[].{kernel,size,best_seconds}`` shape the
+#: comparator keys on, so either can serve as baseline or current side.
+ACCEPTED_SCHEMAS = (SCHEMA, SERVING_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -56,9 +62,10 @@ def load_report(path: str) -> dict:
     except json.JSONDecodeError as exc:
         raise BenchmarkError(f"bench report {path!r} is not valid JSON: {exc}") from None
     schema = payload.get("schema")
-    if schema != SCHEMA:
+    if schema not in ACCEPTED_SCHEMAS:
         raise BenchmarkError(
-            f"bench report {path!r} has schema {schema!r}, expected {SCHEMA!r}"
+            f"bench report {path!r} has schema {schema!r}, "
+            f"expected one of {ACCEPTED_SCHEMAS}"
         )
     return payload
 

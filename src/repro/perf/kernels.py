@@ -189,6 +189,56 @@ def _setup_online_update(size: int, seed: int) -> tuple[PreparedKernel, float]:
     return run, float(size)
 
 
+def _warm_service(size: int, seed: int):
+    """A streaming service with ``size`` joined nodes and a shaken embedding."""
+    import numpy as np
+
+    from repro.stream.service import StreamCoordinateService
+
+    matrix = _dataset(size, seed)
+    truth = matrix.to_array()
+    service = StreamCoordinateService(rng=seed + 1)
+    for node in range(size):
+        service.join(node, 0.0)
+    rng = np.random.default_rng(seed + 2)
+    # A few simulated seconds of measurements: enough that every node has
+    # moved off the origin and queries run against realistic coordinates.
+    for t in range(1, 6):
+        picks = rng.integers(0, size - 1, size=size)
+        picks += picks >= np.arange(size)
+        for src in range(size):
+            rtt = truth[src, picks[src]]
+            if rtt > 0:
+                service.observe(src, int(picks[src]), float(rtt), float(t))
+    return service
+
+
+def _setup_stream_closest(kernel: str):
+    def setup(size: int, seed: int) -> tuple[PreparedKernel, float]:
+        service = _warm_service(size, seed)
+        nodes = service.active_nodes()
+
+        if kernel == "batched":
+
+            def run() -> int:
+                # One call = a closest-node query from every node, answered
+                # by one whole-population einsum + per-row lexsort — the
+                # serving hot path `repro serve-bench` stresses.
+                service.closest_batch(nodes, k=3)
+                return len(nodes)
+
+        else:
+
+            def run() -> int:
+                for node in nodes:
+                    service.closest(node, k=3)
+                return len(nodes)
+
+        return run, float(len(nodes))
+
+    return setup
+
+
 def _setup_scenario_generation(size: int, seed: int) -> tuple[PreparedKernel, float]:
     from repro.scenarios.generators import load_scenario_dataset
     from repro.scenarios.library import get_scenario
@@ -280,6 +330,20 @@ _KERNELS: dict[str, KernelSpec] = {
             "(per-observation Vivaldi + edge memory + rolling severity)",
             "updates/s",
             _setup_online_update,
+        ),
+        KernelSpec(
+            "stream_closest_batched",
+            "closest-node queries from every node over one whole-population "
+            "einsum (the live-service batch query path)",
+            "queries/s",
+            _setup_stream_closest("batched"),
+        ),
+        KernelSpec(
+            "stream_closest_reference",
+            "closest-node queries answered one per-query dict scan + sort "
+            "at a time (the scalar live-service path)",
+            "queries/s",
+            _setup_stream_closest("reference"),
         ),
         KernelSpec(
             "scenario_generation",

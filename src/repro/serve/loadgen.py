@@ -1,0 +1,169 @@
+"""The serving load generator behind ``repro serve-bench``.
+
+For every requested ``(family, mode, size)`` the generator replays the
+workload's deterministic query stream against the warm context and times
+it: batched mode wraps each batch call (every query in the batch
+experiences the batch's wall time), scalar mode wraps every individual
+call.  With ``workers > 1`` the same streams are fired from that many
+worker processes at once — each process builds its own warm context once,
+via the pool initializer — and the per-worker results are merged
+(aggregate QPS sums, latency percentiles pool).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.errors import ServeError
+from repro.serve.latency import LatencySummary, merge_summaries, summarize_latencies
+from repro.serve.report import ServingReport, ServingRow
+from repro.serve.workload import (
+    ServingWorkload,
+    WarmContext,
+    build_warm_context,
+    generate_query_batches,
+)
+
+
+def _answer_batch(context: WarmContext, family: str, queries: list, k: int):
+    """Answer one batch with the vectorised entry point."""
+    service = context.service
+    if family == "closest":
+        return service.closest_batch(queries, k)
+    if family == "distance":
+        return service.distance_batch(queries)
+    if family == "tiv_alert":
+        return service.tiv_alert_batch(queries)
+    return context.overlay.closest_neighbor_query_batch(
+        [target for target, _ in queries],
+        start_nodes=[start for _, start in queries],
+    )
+
+
+def _answer_one(context: WarmContext, family: str, query, k: int):
+    """Answer one query with the scalar entry point."""
+    service = context.service
+    if family == "closest":
+        return service.closest(query, k)
+    if family == "distance":
+        return service.distance(*query)
+    if family == "tiv_alert":
+        return service.tiv_alert(*query)
+    target, start = query
+    return context.overlay.closest_neighbor_query(target, start_node=start)
+
+
+def measure_stream(
+    context: WarmContext, workload: ServingWorkload, family: str, mode: str
+) -> LatencySummary:
+    """Time one (family, mode) query stream against a warm context."""
+    batches = generate_query_batches(workload, context, family)
+    warmup = batches[: workload.warmup_batches]
+    timed = batches[workload.warmup_batches :]
+    k = workload.k
+    for queries in warmup:
+        _answer_batch(context, family, queries, k)
+
+    latencies: list[float] = []
+    total = 0.0
+    best = float("inf")
+    if mode == "batched":
+        for queries in timed:
+            start = time.perf_counter()
+            _answer_batch(context, family, queries, k)
+            elapsed = time.perf_counter() - start
+            latencies.extend([elapsed] * len(queries))
+            total += elapsed
+            best = min(best, elapsed / len(queries))
+    elif mode == "scalar":
+        for queries in timed:
+            for query in queries:
+                start = time.perf_counter()
+                _answer_one(context, family, query, k)
+                elapsed = time.perf_counter() - start
+                latencies.append(elapsed)
+                total += elapsed
+                best = min(best, elapsed)
+    else:
+        raise ServeError(f"unknown serving mode {mode!r}")
+    return summarize_latencies(latencies, total_seconds=total, best_per_query_seconds=best)
+
+
+# -- worker-process plumbing ----------------------------------------------------
+
+#: Per-process warm state, built once by the pool initializer; module-level
+#: because ProcessPoolExecutor tasks can only reach globals.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(workload: ServingWorkload) -> None:
+    _WORKER_STATE["workload"] = workload
+    _WORKER_STATE["context"] = build_warm_context(workload)
+
+
+def _worker_measure(family: str, mode: str) -> LatencySummary:
+    return measure_stream(
+        _WORKER_STATE["context"], _WORKER_STATE["workload"], family, mode
+    )
+
+
+def _measure_all(workload: ServingWorkload) -> list[ServingRow]:
+    """Every (family, mode) stream of one workload, at its single size."""
+    streams = [(family, mode) for family in workload.families for mode in workload.modes]
+    if workload.workers == 1:
+        context = build_warm_context(workload)
+        summaries = {
+            stream: [measure_stream(context, workload, *stream)] for stream in streams
+        }
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        summaries = {stream: [] for stream in streams}
+        with ProcessPoolExecutor(
+            max_workers=workload.workers,
+            initializer=_init_worker,
+            initargs=(workload,),
+        ) as pool:
+            futures = {
+                stream: [
+                    pool.submit(_worker_measure, *stream)
+                    for _ in range(workload.workers)
+                ]
+                for stream in streams
+            }
+            for stream, handles in futures.items():
+                summaries[stream] = [handle.result() for handle in handles]
+    return [
+        ServingRow(
+            family=family,
+            mode=mode,
+            size=workload.n_nodes,
+            batch=workload.batch,
+            workers=workload.workers,
+            summary=merge_summaries(summaries[(family, mode)]),
+        )
+        for family, mode in streams
+    ]
+
+
+def run_serving_benchmark(
+    workload: ServingWorkload, *, sizes: Optional[Sequence[int]] = None
+) -> ServingReport:
+    """Run the full serving benchmark, optionally across several sizes.
+
+    ``sizes`` overrides the workload's ``n_nodes`` run by run (warm state
+    is rebuilt per size); omitted, the workload runs at its own size.
+    """
+    if sizes is None:
+        resolved = (workload.n_nodes,)
+    else:
+        resolved = tuple(int(s) for s in sizes)
+        if not resolved:
+            raise ServeError("sizes must be non-empty when given")
+    rows: list[ServingRow] = []
+    for size in resolved:
+        sized = workload if size == workload.n_nodes else replace(workload, n_nodes=size)
+        rows.extend(_measure_all(sized))
+    return ServingReport(workload=workload.as_dict(), sizes=resolved, rows=tuple(rows))

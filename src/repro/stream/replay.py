@@ -200,7 +200,7 @@ def replay_trace(
         windows.append(
             _window_metrics(
                 len(windows),
-                t_end - window_seconds,
+                boundary - window_seconds,
                 t_end,
                 counts,
                 service,
@@ -223,7 +223,10 @@ def replay_trace(
             counts["joins"] += 1
         else:
             counts["leaves"] += 1
-    close_window(boundary)
+    # The final window ends at the last event, not at the next nominal
+    # boundary — otherwise its span could extend a full window_seconds
+    # past the trace and misstate the window's time coverage.
+    close_window(min(boundary, float(trace.events[-1].t)))
 
     scored = [w for w in windows if np.isfinite(w.median_relative_error)]
     first = scored[0] if scored else None
@@ -233,6 +236,7 @@ def replay_trace(
         "windows": len(windows),
         "final_active_nodes": service.n_active,
         "observed_edges": service.n_observed_edges,
+        "dropped_measurements": service.dropped_measurements,
         "first_window_median_relative_error": (
             first.median_relative_error if first else float("nan")
         ),

@@ -21,6 +21,7 @@ event, converging to the offline metric on a static matrix.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.coords.online import OnlineVivaldi, OnlineVivaldiConfig
@@ -88,6 +89,7 @@ class StreamCoordinateService:
         self._severity: dict[tuple[int, int], float] = {}
         self._clock = 0.0
         self._events = 0
+        self._dropped = 0
 
     # -- state accessors ------------------------------------------------------
 
@@ -119,8 +121,22 @@ class StreamCoordinateService:
         """Edges with a remembered RTT observation."""
         return len(self._edge_rtt)
 
+    @property
+    def dropped_measurements(self) -> int:
+        """Measurements discarded for an unusable RTT (non-finite or <= 0).
+
+        The embedding never moves on such a measurement and the edge is
+        never recorded — but silently ignoring them hides a broken
+        measurement feed, so the service counts every drop.
+        """
+        return self._dropped
+
     def active_nodes(self) -> list[int]:
         return self._embedding.active_nodes()
+
+    def observed_edges(self) -> list[tuple[int, int]]:
+        """Undirected edges with a remembered RTT observation, sorted."""
+        return sorted(self._edge_rtt)
 
     # -- event ingestion ------------------------------------------------------
 
@@ -178,7 +194,10 @@ class StreamCoordinateService:
                 f"measurement {src}->{dst} references inactive node {missing}"
             )
         self._embedding.observe(src, dst, rtt, t)
-        if not rtt > 0:
+        if not (math.isfinite(rtt) and rtt > 0):
+            # The embedding no-oped on this RTT and the edge would carry
+            # unusable evidence — count the drop instead of hiding it.
+            self._dropped += 1
             return
         self._edge_rtt[_edge(src, dst)] = (float(rtt), float(t))
         self._peers[src].add(dst)
@@ -228,6 +247,53 @@ class StreamCoordinateService:
     def closest(self, node: int, k: int = 1) -> list[tuple[int, float]]:
         """The ``k`` active nodes predicted closest to ``node``."""
         return self._embedding.closest(node, k)
+
+    def closest_batch(self, nodes, k: int = 1) -> list[list[tuple[int, float]]]:
+        """Batch :meth:`closest` over the live embedding (one vector op)."""
+        return self._embedding.closest_batch(nodes, k)
+
+    def distances_matrix(self, nodes):
+        """Batch :meth:`distance`: ``(active_ids, matrix)`` for query ``nodes``."""
+        return self._embedding.distances_matrix(nodes)
+
+    def distance_batch(self, pairs):
+        """Predicted delays for a batch of ``(a, b)`` pairs (one vector op)."""
+        return self._embedding.distance_batch(pairs)
+
+    def tiv_alert_batch(self, edges) -> list[dict]:
+        """Batch :meth:`tiv_alert`: one gathered distance op answers every edge.
+
+        Each verdict dict is identical to the scalar query's; an edge
+        without an observed measurement raises, exactly as the scalar
+        query does.
+        """
+        keyed = [_edge(int(a), int(b)) for a, b in edges]
+        observed = []
+        for edge in keyed:
+            record = self._edge_rtt.get(edge)
+            if record is None:
+                raise StreamError(
+                    f"no observed measurement for edge {edge}; cannot evaluate a TIV alert"
+                )
+            observed.append(record)
+        predicted = self._embedding.distance_batch(keyed)
+        threshold = self._config.alert_threshold
+        verdicts = []
+        for edge, (rtt, observed_at), pred in zip(keyed, observed, predicted):
+            pred = float(pred)
+            ratio = pred / rtt if rtt > 0 else float("nan")
+            verdicts.append(
+                {
+                    "edge": edge,
+                    "predicted": pred,
+                    "observed": rtt,
+                    "ratio": ratio,
+                    "alerted": bool(ratio < threshold),
+                    "severity_estimate": self._severity.get(edge),
+                    "observation_age": self._clock - observed_at,
+                }
+            )
+        return verdicts
 
     def severity_estimate(self, a: int, b: int) -> float | None:
         """Rolling TIV-severity estimate of edge (a, b), if any evidence."""

@@ -27,6 +27,7 @@ class TestKernelRegistry:
             "ides_fit",
             "lat_adjust",
             "meridian_query",
+            "stream_closest",
         ):
             assert f"{family}_batched" in names
             assert f"{family}_reference" in names
@@ -46,6 +47,7 @@ class TestKernelRegistry:
             "ides_fit",
             "lat_adjust",
             "meridian_query",
+            "stream_closest",
         }
         for family, (batched, reference) in families.items():
             assert batched == f"{family}_batched"

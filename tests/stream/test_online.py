@@ -222,6 +222,37 @@ class TestQueries:
         assert ages[1] == pytest.approx(2.0)  # updated at t=10
         assert ages[2] == pytest.approx(8.0)  # never updated since joining
 
+    def test_staleness_rejects_a_clock_behind_the_updates(self):
+        # Regression: a `now` earlier than the latest update used to return
+        # silently negative ages; it must raise instead.
+        emb = OnlineVivaldi(rng=0)
+        emb.join(1, t=0.0)
+        emb.join(2, t=0.0)
+        emb.observe(1, 2, 20.0, t=10.0)
+        with pytest.raises(EmbeddingError, match="earlier than the latest"):
+            emb.staleness(now=5.0)
+        # Exactly at the latest update is fine (zero age, not negative).
+        assert emb.staleness(now=10.0)[1] == 0.0
+        # And an empty population never raises.
+        assert OnlineVivaldi(rng=0).staleness(now=-100.0) == {}
+
+    def test_closest_breaks_ties_numerically_for_int_ids(self):
+        # Regression: ties used to sort by str(node), ranking 10 before 2.
+        emb = OnlineVivaldi(rng=0)
+        for node in (0, 10, 2, 30):
+            emb.join(node)
+        # No observations: every node sits at the origin with equal height,
+        # so all predicted delays from 0 tie exactly.
+        ranked = emb.closest(0, k=3)
+        assert [node for node, _ in ranked] == [2, 10, 30]
+
+    def test_closest_tie_break_orders_ints_before_strings(self):
+        emb = OnlineVivaldi(rng=0)
+        for node in ("b", 7, "a", 2):
+            emb.join(node)
+        ranked = emb.closest(7, k=3)
+        assert [node for node, _ in ranked] == [2, "a", "b"]
+
     def test_snapshot_is_a_copy(self):
         emb = OnlineVivaldi(rng=0)
         emb.join(1)

@@ -1,0 +1,126 @@
+"""Batch-query equivalence: the serving hot path must bit-match the scalar path.
+
+``closest_batch`` / ``distances_matrix`` / ``distance_batch`` answer with
+the same einsum formulation the scalar queries use, so every value is
+required to be *bit-identical* (plain ``==``, no approx) to the
+per-query answer — across churny populations, seeds, and slot reuse
+after leaves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coords.online import OnlineVivaldi, OnlineVivaldiConfig
+from repro.errors import EmbeddingError
+
+
+def churny_embedding(seed: int, n: int = 40, use_height: bool = True) -> OnlineVivaldi:
+    """A live embedding shaken by measurements, leaves and rejoins."""
+    emb = OnlineVivaldi(OnlineVivaldiConfig(use_height=use_height), rng=seed)
+    rng = np.random.default_rng(seed + 1000)
+    points = rng.uniform(0.0, 120.0, size=(n, 3))
+    truth = np.sqrt(((points[:, None] - points[None, :]) ** 2).sum(-1)) + 1.0
+    for node in range(n):
+        emb.join(node, t=0.0)
+    for t in range(1, 30):
+        for src in emb.active_nodes():
+            others = [x for x in emb.active_nodes() if x != src]
+            dst = others[int(rng.integers(0, len(others)))]
+            emb.observe(src, dst, float(truth[src % n, dst % n]), t=float(t))
+        if t == 10:
+            # Churn out a third of the population...
+            for node in range(0, n, 3):
+                emb.leave(node)
+        if t == 18:
+            # ... and bring them back, reusing the freed slots (plus a few
+            # fresh ids that take whatever slots remain).
+            for node in range(0, n, 3):
+                emb.join(node, t=float(t))
+            for extra in range(n, n + 4):
+                emb.join(extra, t=float(t))
+    return emb
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+@pytest.mark.parametrize("use_height", [True, False])
+class TestBatchEquivalence:
+    def test_closest_batch_bit_matches_scalar(self, seed, use_height):
+        emb = churny_embedding(seed, use_height=use_height)
+        nodes = emb.active_nodes()
+        for k in (1, 3, len(nodes)):
+            batch = emb.closest_batch(nodes, k=k)
+            assert len(batch) == len(nodes)
+            for node, got in zip(nodes, batch):
+                assert got == emb.closest(node, k=k)
+
+    def test_distances_matrix_bit_matches_distances_from(self, seed, use_height):
+        emb = churny_embedding(seed, use_height=use_height)
+        nodes = emb.active_nodes()
+        queries = nodes[::3]
+        active, matrix = emb.distances_matrix(queries)
+        assert active == nodes
+        assert matrix.shape == (len(queries), len(active))
+        for qi, node in enumerate(queries):
+            scalar = emb.distances_from(node)
+            for j, other in enumerate(active):
+                expected = 0.0 if other == node else scalar[other]
+                assert matrix[qi, j] == expected
+
+    def test_distance_batch_bit_matches_distance(self, seed, use_height):
+        emb = churny_embedding(seed, use_height=use_height)
+        nodes = emb.active_nodes()
+        rng = np.random.default_rng(seed)
+        picks = rng.integers(0, len(nodes), size=(64, 2))
+        pairs = [(nodes[a], nodes[b]) for a, b in picks] + [(nodes[0], nodes[0])]
+        values = emb.distance_batch(pairs)
+        assert values.shape == (len(pairs),)
+        for (a, b), got in zip(pairs, values):
+            assert got == emb.distance(a, b)
+
+
+class TestBatchEdgeCases:
+    def test_empty_batches(self):
+        emb = churny_embedding(0, n=10)
+        assert emb.closest_batch([], k=2) == []
+        active, matrix = emb.distances_matrix([])
+        assert active == emb.active_nodes()
+        assert matrix.shape == (0, len(active))
+        assert emb.distance_batch([]).shape == (0,)
+
+    def test_closest_batch_rejects_bad_k(self):
+        emb = churny_embedding(0, n=10)
+        with pytest.raises(EmbeddingError, match="k must be >= 1"):
+            emb.closest_batch(emb.active_nodes(), k=0)
+
+    def test_closest_batch_rejects_inactive_query(self):
+        emb = churny_embedding(0, n=10)
+        with pytest.raises(EmbeddingError, match="not active"):
+            emb.closest_batch([99999], k=1)
+
+    def test_k_is_clamped_to_population(self):
+        emb = churny_embedding(1, n=10)
+        nodes = emb.active_nodes()
+        batch = emb.closest_batch(nodes, k=10 * len(nodes))
+        for node, got in zip(nodes, batch):
+            assert len(got) == len(nodes) - 1
+            assert got == emb.closest(node, k=10 * len(nodes))
+
+    def test_string_ids_fall_back_to_the_scalar_path(self):
+        emb = OnlineVivaldi(rng=0)
+        for node in ("a", "b", "c", 4):
+            emb.join(node)
+        emb.observe("a", "b", 25.0, t=1.0)
+        batch = emb.closest_batch(["a", 4], k=2)
+        assert batch == [emb.closest("a", k=2), emb.closest(4, k=2)]
+
+    def test_cache_invalidated_by_membership_changes(self):
+        emb = churny_embedding(2, n=12)
+        before = emb.closest_batch(emb.active_nodes(), k=2)
+        victim = emb.active_nodes()[0]
+        emb.leave(victim)
+        after = emb.closest_batch(emb.active_nodes(), k=2)
+        assert victim not in [node for row in after for node, _ in row]
+        assert len(after) == len(before) - 1
+        emb.join(victim, t=100.0)
+        again = emb.closest_batch(emb.active_nodes(), k=2)
+        assert len(again) == len(before)

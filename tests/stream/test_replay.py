@@ -22,10 +22,35 @@ class TestWindows:
         trace, report = churny_report
         assert report.window_seconds == 10.0
         assert len(report.windows) == 4
-        for index, window in enumerate(report.windows):
+        for index, window in enumerate(report.windows[:-1]):
             assert window.index == index
             assert window.t_end - window.t_start == pytest.approx(10.0)
+        # The final window ends at the last event, not the next nominal
+        # boundary — it may span less than a full window.
+        last = report.windows[-1]
+        assert last.t_end == trace.events[-1].t
+        assert 0 < last.t_end - last.t_start <= 10.0
         assert sum(w.events for w in report.windows) == trace.n_events
+
+    def test_final_window_clamped_to_the_last_event(self):
+        # Regression: the trailing close_window(boundary) used to stamp the
+        # final window with the next nominal boundary (here t_end=20.0),
+        # overstating its time coverage by nearly a full window.
+        events = [NodeJoin(0.0, 0), NodeJoin(0.0, 1)]
+        t = 0.5
+        while t < 12.0:
+            events.append(MeasurementEvent(t, 0, 1, 25.0))
+            events.append(MeasurementEvent(t + 0.1, 1, 0, 25.0))
+            t += 1.0
+        truth = np.full((2, 2), 25.0)
+        np.fill_diagonal(truth, 0.0)
+        trace = Trace(events, truth, {})
+        report = replay_trace(trace, window_seconds=10.0)
+        assert len(report.windows) == 2
+        assert report.windows[0].t_end == 10.0
+        assert report.windows[1].t_start == 10.0
+        assert report.windows[1].t_end == trace.events[-1].t  # 11.6, not 20.0
+        assert report.windows[1].t_end < 12.0
 
     def test_event_counts_split_by_kind(self, churny_report):
         trace, report = churny_report
@@ -89,6 +114,25 @@ class TestReportPayload:
     def test_trace_meta_carried_through(self, churny_report):
         trace, report = churny_report
         assert report.trace_meta == trace.meta
+
+    def test_totals_surface_dropped_measurements(self, churny_report):
+        # Synthetic traces only emit usable RTTs, so the counter reads 0 —
+        # but the key must be present in every report.
+        _, report = churny_report
+        assert report.totals["dropped_measurements"] == 0
+
+    def test_dropped_measurements_counted_in_totals(self):
+        truth = np.full((2, 2), 25.0)
+        np.fill_diagonal(truth, 0.0)
+        events = [
+            NodeJoin(0.0, 0),
+            NodeJoin(0.0, 1),
+            MeasurementEvent(0.5, 0, 1, 25.0),
+            MeasurementEvent(1.5, 0, 1, -3.0),  # broken probe: dropped
+            MeasurementEvent(2.5, 1, 0, 25.0),
+        ]
+        report = replay_trace(Trace(events, truth, {}), window_seconds=10.0)
+        assert report.totals["dropped_measurements"] == 1
 
 
 class TestReplayValidation:

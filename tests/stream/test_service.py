@@ -156,6 +156,86 @@ class TestSeverity:
         assert verdict["severity_estimate"] == pytest.approx(10.0)
 
 
+class TestDroppedMeasurements:
+    def test_unusable_rtts_are_counted_not_hidden(self):
+        # Regression: rtt <= 0 (and non-finite) measurements were silently
+        # ignored; the service must count every drop.
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        service.join(2)
+        t = 1.0
+        for rtt in (0.0, -5.0, float("nan"), float("inf")):
+            service.observe(1, 2, rtt, t=t)
+            t += 1.0
+        assert service.dropped_measurements == 4
+        assert service.n_observed_edges == 0  # nothing unusable was recorded
+        service.observe(1, 2, 20.0, t=t)
+        assert service.dropped_measurements == 4  # good ones don't count
+        assert service.n_observed_edges == 1
+
+    def test_dropped_measurements_still_advance_the_clock(self):
+        service = StreamCoordinateService(rng=0)
+        service.join(1)
+        service.join(2)
+        service.observe(1, 2, -1.0, t=7.0)
+        assert service.clock == 7.0
+        assert service.n_events == 3
+
+
+class TestBatchQueries:
+    def warmed(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0.0, 80.0, size=(12, 2))
+        truth = np.sqrt(((points[:, None] - points[None, :]) ** 2).sum(-1)) + 1.0
+        service = StreamCoordinateService(rng=1)
+        for node in range(12):
+            service.join(node)
+        t = 1.0
+        for _ in range(40):
+            for src in range(12):
+                dst = int(rng.integers(0, 11))
+                dst += dst >= src
+                service.observe(src, dst, float(truth[src, dst]), t=t)
+                t += 0.001
+        return service
+
+    def test_batch_queries_delegate_to_the_embedding(self):
+        service = self.warmed()
+        nodes = service.active_nodes()
+        assert service.closest_batch(nodes, k=2) == [
+            service.closest(node, k=2) for node in nodes
+        ]
+        pairs = [(a, b) for a in nodes[:4] for b in nodes[:4]]
+        values = service.distance_batch(pairs)
+        for (a, b), got in zip(pairs, values):
+            assert got == service.distance(a, b)
+        active, matrix = service.distances_matrix(nodes[:3])
+        assert active == nodes
+        assert matrix.shape == (3, len(nodes))
+
+    def test_tiv_alert_batch_matches_scalar_verdicts(self):
+        service = self.warmed()
+        edges = service.observed_edges()[:16]
+        verdicts = service.tiv_alert_batch(edges)
+        assert len(verdicts) == len(edges)
+        for edge, got in zip(edges, verdicts):
+            assert got == service.tiv_alert(*edge)
+
+    def test_tiv_alert_batch_requires_observations_for_every_edge(self):
+        service = self.warmed()
+        good = service.observed_edges()[0]
+        with pytest.raises(StreamError, match="no observed measurement"):
+            service.tiv_alert_batch([good, (998, 999)])
+
+    def test_observed_edges_sorted_and_undirected(self):
+        service = StreamCoordinateService(rng=0)
+        for node in (1, 2, 3):
+            service.join(node)
+        service.observe(3, 1, 9.0, t=1.0)
+        service.observe(2, 1, 9.0, t=2.0)
+        assert service.observed_edges() == [(1, 2), (1, 3)]
+
+
 class TestQueries:
     def test_closest_and_distance_reflect_the_embedding(self):
         rng = np.random.default_rng(6)

@@ -379,7 +379,7 @@ class TestHelpSnapshots:
 
     COMMAND_LIST = (
         "{datasets,generate,analyze,experiments,run,run-all,graph,cache,"
-        "scenarios,run-scenarios,make-trace,stream,bench,perf-gate,report}"
+        "scenarios,run-scenarios,make-trace,stream,bench,serve-bench,perf-gate,report}"
     )
 
     MAKE_TRACE_USAGE = (
@@ -467,6 +467,7 @@ class TestHelpSnapshots:
             ("run-all", "BENCH_experiments.json"),
             ("run-scenarios", "BENCH_scenarios.json"),
             ("bench", "BENCH_perf.json"),
+            ("serve-bench", "BENCH_serving.json"),
             ("stream", "STREAM_report.json"),
         ):
             out = capture_help(capsys, monkeypatch, command)
