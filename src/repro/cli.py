@@ -35,6 +35,7 @@ default and help text.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Optional, Sequence
@@ -389,8 +390,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_make_trace(args: argparse.Namespace) -> int:
-    from repro.stream import save_trace, synthesize_trace
+    from repro.stream import FaultSpec, save_trace, synthesize_trace
 
+    faults = None
+    if args.faults:
+        faults = FaultSpec.parse(args.faults)
+        if faults.seed == 0 and args.fault_seed is not None:
+            faults = dataclasses.replace(faults, seed=args.fault_seed)
     trace = synthesize_trace(
         preset=args.preset,
         n_nodes=args.nodes,
@@ -399,29 +405,81 @@ def _cmd_make_trace(args: argparse.Namespace) -> int:
         duration=args.duration,
         rate=args.rate,
         churn=args.churn,
+        faults=faults,
     )
     save_trace(trace, args.output)
     counts = trace.counts()
+    faulted = ""
+    if faults is not None and not faults.is_noop:
+        faulted = f", faults: {args.faults}"
     print(
         f"wrote {trace.n_nodes}-node trace to {args.output} "
         f"({counts['measurements']} measurements, {counts['joins']} joins, "
-        f"{counts['leaves']} leaves over {trace.duration:g}s)"
+        f"{counts['leaves']} leaves over {trace.duration:g}s{faulted})"
     )
     return 0
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.stream import StreamServiceConfig, load_trace, replay_trace
+    from repro.stream import (
+        DefenseConfig,
+        StreamServiceConfig,
+        load_trace,
+        replay_trace,
+    )
 
     trace = load_trace(args.trace)
-    config = StreamServiceConfig(alert_threshold=args.alert_threshold)
+    config = StreamServiceConfig(
+        alert_threshold=args.alert_threshold,
+        defense=DefenseConfig() if args.defense else None,
+    )
     report = replay_trace(
-        trace, config=config, window_seconds=args.window, rng=args.seed
+        trace,
+        config=config,
+        window_seconds=args.window,
+        rng=args.seed,
+        checkpoint_path=args.checkpoint,
+        wal_path=args.wal,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        stop_after_events=args.stop_after,
     )
     _print_json(report.as_dict())
     if args.report:
         report.write(args.report)
         print(f"wrote stream report to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.stream import FaultSpec
+    from repro.stream.chaos import run_chaos, write_chaos_report
+
+    template = FaultSpec.parse(args.faults) if args.faults else None
+    try:
+        fractions = [float(part) for part in args.liar_fractions.split(",") if part]
+    except ValueError:
+        from repro.errors import StreamError
+
+        raise StreamError(
+            f"--liar-fractions must be a comma-separated list of numbers, "
+            f"got {args.liar_fractions!r}"
+        ) from None
+    payload = run_chaos(
+        preset=args.preset,
+        n_nodes=args.nodes,
+        seed=args.seed,
+        duration=args.duration,
+        rate=args.rate,
+        churn=args.churn,
+        liar_fractions=fractions,
+        fault_template=template,
+        window_seconds=args.window,
+    )
+    _print_json(payload)
+    if args.report:
+        write_chaos_report(payload, args.report)
+        print(f"wrote chaos report to {args.report}", file=sys.stderr)
     return 0
 
 
@@ -659,6 +717,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="fraction of nodes that leave and rejoin mid-trace (default: 0)",
     )
+    make_trace.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "fault-injection mini-spec, e.g. 'liars=0.1,spikes=0.05' "
+            "(tokens: liars, liar_inflation, spikes, spike_mult, skew, "
+            "max_skew, dupes, flaps, seed)"
+        ),
+    )
+    make_trace.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed of the fault streams (default: the spec's seed token, else 0)",
+    )
     make_trace.add_argument("-o", "--output", required=True, help="output .npz trace path")
     make_trace.set_defaults(func=_cmd_make_trace)
 
@@ -685,7 +758,86 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--seed", type=int, default=0, help="seed of the service's random stream"
     )
+    stream.add_argument(
+        "--defense",
+        action="store_true",
+        help="arm the measurement defense (residual gate + quarantine ledger)",
+    )
+    stream.add_argument(
+        "--checkpoint",
+        default=None,
+        help="stream-checkpoint/v1 .npz path to write (and resume from)",
+    )
+    stream.add_argument(
+        "--wal",
+        default=None,
+        help="append-only write-ahead log (.jsonl) recording every applied event",
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="checkpoint every N applied events (0: only at end of replay)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from --checkpoint (+ --wal suffix) and continue the replay",
+    )
+    stream.add_argument(
+        "--stop-after",
+        type=int,
+        default=None,
+        help="stop after N applied events without a final checkpoint (crash drill)",
+    )
     stream.set_defaults(func=_cmd_stream)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep a Byzantine liar fraction, defended vs undefended replay",
+        parents=[_population_parent(48), _report_parent("CHAOS_report.json")],
+    )
+    chaos.add_argument(
+        "--preset",
+        choices=available_datasets(),
+        default="ds2_like",
+        help="dataset preset the ground-truth matrix is drawn from",
+    )
+    chaos.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="trace length in simulated seconds (default: 60)",
+    )
+    chaos.add_argument(
+        "--rate",
+        type=int,
+        default=1,
+        help="measurements per live node per second (default: 1)",
+    )
+    chaos.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="fraction of nodes that leave and rejoin mid-trace (default: 0)",
+    )
+    chaos.add_argument(
+        "--liar-fractions",
+        default="0.0,0.05,0.1,0.2",
+        help="comma-separated Byzantine intensities to sweep",
+    )
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        help="extra fault template tokens held fixed across the sweep (no skew)",
+    )
+    chaos.add_argument(
+        "--window",
+        type=float,
+        default=10.0,
+        help="accuracy-scoring window width in seconds (default: 10)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = sub.add_parser(
         "bench",

@@ -492,3 +492,50 @@ class OnlineVivaldi:
             "last_update": self._last_update[slots].copy(),
             "update_counts": self._update_counts[slots].copy(),
         }
+
+    # -- durable state ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Complete internal state, for bit-identical checkpoint/restore.
+
+        Unlike :meth:`snapshot` (a query-friendly view of the *active*
+        population), this captures everything future behaviour depends
+        on: the full-capacity arrays, the slot map in insertion order,
+        the free-slot stack (its LIFO order decides which slot the next
+        join reuses) and the observation counter.  The caller owns the
+        RNG — the embedding shares its generator with the stream service,
+        so the service serialises it exactly once.
+        """
+        return {
+            "capacity": int(self._coords.shape[0]),
+            "coords": self._coords.copy(),
+            "heights": self._heights.copy(),
+            "errors": self._errors.copy(),
+            "last_update": self._last_update.copy(),
+            "update_counts": self._update_counts.copy(),
+            "nodes": list(self._slots),
+            "slots": [int(self._slots[node]) for node in self._slots],
+            "free": [int(slot) for slot in self._free],
+            "observations": int(self._observations),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        config: OnlineVivaldiConfig | None = None,
+        *,
+        rng: RngLike = None,
+    ) -> "OnlineVivaldi":
+        """Rebuild an embedding whose behaviour bit-matches the captured one."""
+        embedding = cls(config, rng=rng, capacity=int(state["capacity"]))
+        embedding._coords = np.array(state["coords"], dtype=float)
+        embedding._heights = np.array(state["heights"], dtype=float)
+        embedding._errors = np.array(state["errors"], dtype=float)
+        embedding._last_update = np.array(state["last_update"], dtype=float)
+        embedding._update_counts = np.array(state["update_counts"], dtype=np.int64)
+        embedding._slots = dict(zip(state["nodes"], (int(s) for s in state["slots"])))
+        embedding._free = [int(slot) for slot in state["free"]]
+        embedding._observations = int(state["observations"])
+        embedding._active_cache = None
+        return embedding

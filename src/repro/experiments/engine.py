@@ -39,7 +39,12 @@ import os
 import shutil
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Optional, Union
@@ -124,6 +129,7 @@ class ExperimentRunRecord:
     cache: CacheStats = field(default_factory=CacheStats)
     status: str = "ok"
     error: str = ""
+    retries: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         payload = {
@@ -134,6 +140,8 @@ class ExperimentRunRecord:
         }
         if self.error:
             payload["error"] = self.error
+        if self.retries:
+            payload["retries"] = self.retries
         return payload
 
 
@@ -155,6 +163,9 @@ class RunReport:
     shared: Optional[ExperimentRunRecord] = None
     artifacts: list[ArtifactRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    artifact_retries: int = 0
+    figure_retries: int = 0
+    pool_rebuilds: int = 0
 
     def total_cache(self) -> CacheStats:
         """Cache counters summed over the shared phase and every experiment."""
@@ -192,6 +203,11 @@ class RunReport:
                 },
                 "cache": total.as_dict(),
                 "all_cache_hits": self.all_cache_hits,
+                "supervision": {
+                    "artifact_retries": self.artifact_retries,
+                    "figure_retries": self.figure_retries,
+                    "pool_rebuilds": self.pool_rebuilds,
+                },
             },
         }
 
@@ -344,6 +360,7 @@ class ExperimentEngine:
                     wanted, cache, warm_context
                 )
                 artifact_events = artifact_events + figure_events
+                supervision = {}
             else:
                 (
                     results,
@@ -351,6 +368,7 @@ class ExperimentEngine:
                     shared_record,
                     artifact_events,
                     first_exc,
+                    supervision,
                 ) = self._run_parallel(wanted, effective_cache_dir)
         finally:
             if ephemeral_dir is not None:
@@ -364,6 +382,9 @@ class ExperimentEngine:
             shared=shared_record,
             artifacts=aggregate_artifact_events(artifact_events),
             wall_seconds=time.perf_counter() - started,
+            artifact_retries=supervision.get("artifact_retries", 0),
+            figure_retries=supervision.get("figure_retries", 0),
+            pool_rebuilds=supervision.get("pool_rebuilds", 0),
         )
         failures = {
             record.experiment_id: record.error
@@ -447,6 +468,7 @@ class ExperimentEngine:
         ExperimentRunRecord,
         list[ArtifactEvent],
         BaseException | None,
+        dict[str, int],
     ]:
         """Schedule artifacts, then figures, over one pool by dependency frontier."""
         plan = resolve_plan(self.config, wanted)
@@ -474,6 +496,11 @@ class ExperimentEngine:
             scheduler.shared_record(""),
             scheduler.owner_events(""),
             scheduler.tag_exception(""),
+            {
+                "artifact_retries": scheduler.artifact_retries,
+                "figure_retries": scheduler.figure_retries,
+                "pool_rebuilds": scheduler.pool_rebuilds,
+            },
         )
 
 
@@ -547,6 +574,21 @@ class FrontierScheduler:
         Ordered ``(tag, experiment_id)`` figure tasks.
     figure_needs:
         Artifact closure (as addresses) per figure task.
+    max_retries:
+        How many *attributed* crashes (a task that was alone in flight
+        when the pool broke, or that overran ``task_timeout``) a single
+        task survives before it is isolated as poison and routed into
+        the ordinary failure-cascade path.  Deterministic task
+        exceptions are never retried — a runner that raises will raise
+        again, and retrying it would only mask the bug.
+    retry_backoff / backoff_cap:
+        Deterministic exponential backoff (``retry_backoff * 2**n``
+        seconds, capped) slept before each pool rebuild, so a crashing
+        environment is not hammered in a tight loop.
+    task_timeout:
+        Optional per-task wall-clock budget in seconds; an overrunning
+        task counts as a crash attributed to that task (its worker is
+        torn down with the pool).  ``None`` disables deadlines.
     """
 
     def __init__(
@@ -558,6 +600,10 @@ class FrontierScheduler:
         figure_needs: Mapping[tuple[str, str], frozenset[str]],
         cache_dir: str,
         jobs: int,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        task_timeout: float | None = None,
     ):
         self.tasks = dict(tasks)
         self.configs = dict(configs)
@@ -565,9 +611,24 @@ class FrontierScheduler:
         self.figure_needs = dict(figure_needs)
         self.cache_dir = str(cache_dir)
         self.jobs = jobs
+        if max_retries < 0:
+            raise ExperimentError("max_retries must be >= 0")
+        if retry_backoff < 0 or backoff_cap < 0:
+            raise ExperimentError("retry_backoff and backoff_cap must be >= 0")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ExperimentError("task_timeout must be > 0 (or None)")
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        self.backoff_cap = float(backoff_cap)
+        self.task_timeout = task_timeout
 
         self.results: dict[tuple[str, str], ExperimentResult] = {}
         self.figure_records: dict[tuple[str, str], ExperimentRunRecord] = {}
+        # Supervision accounting, readable after execute(): re-submissions
+        # per task, and how often the worker pool had to be rebuilt.
+        self.artifact_retry_counts: dict[str, int] = {}
+        self.figure_retry_counts: dict[tuple[str, str], int] = {}
+        self.pool_rebuilds = 0
         # First exception per scenario tag: a shared artifact's failure is
         # charged to every scenario it broke, not just the owner, so each
         # scenario's outcome chains a cause that actually affected it.
@@ -576,6 +637,24 @@ class FrontierScheduler:
         self._owner_stats: dict[str, CacheStats] = {tag: CacheStats() for tag in configs}
         self._owner_wall: dict[str, float] = {tag: 0.0 for tag in configs}
         self._owner_errors: dict[str, list[str]] = {tag: [] for tag in configs}
+
+    @property
+    def artifact_retries(self) -> int:
+        """Total artifact-task re-submissions after crashes/timeouts."""
+        return sum(self.artifact_retry_counts.values())
+
+    @property
+    def figure_retries(self) -> int:
+        """Total figure-task re-submissions after crashes/timeouts."""
+        return sum(self.figure_retry_counts.values())
+
+    def owner_artifact_retries(self, tag: str) -> int:
+        """Artifact re-submissions charged to ``tag``'s tasks."""
+        return sum(
+            count
+            for address, count in self.artifact_retry_counts.items()
+            if self.tasks[address].owner == tag
+        )
 
     def tag_exception(self, tag: str) -> BaseException | None:
         """The first exception that affected ``tag``'s artifacts or figures."""
@@ -601,6 +680,7 @@ class FrontierScheduler:
             cache=self._owner_stats[tag],
             status="ok" if not errors else "error",
             error="; ".join(errors),
+            retries=self.owner_artifact_retries(tag),
         )
 
     def owner_events(self, tag: str) -> list[ArtifactEvent]:
@@ -629,155 +709,323 @@ class FrontierScheduler:
             for task in self.figure_grid
         }
         failed: dict[str, str] = {}
-        submitted_artifacts: set[str] = set()
-        submitted_figures: set[tuple[str, str]] = set()
+        completed_artifacts: set[str] = set()
+        # Supervision state.  ``attempts`` counts *attributed* crashes per
+        # task key (("artifact", address) or ("figure", (tag, id)));
+        # ``probe_queue`` holds crash suspects, which run one at a time so
+        # the next pool break is attributable to exactly one task.
+        attempts: dict[tuple[str, Any], int] = {}
+        probe_queue: list[tuple[str, Any]] = []
 
         max_workers = min(self.jobs, max(1, len(self.figure_grid) + len(to_compute)))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures: dict[Any, tuple[str, Any]] = {}
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        inflight: dict[Any, tuple[str, Any]] = {}
+        flying: set[tuple[str, Any]] = set()
+        deadlines: dict[Any, float] = {}
+        probe_future: Any = None
 
-            def record_figure_failure(task: tuple[str, str], message: str) -> None:
-                self.figure_records[task] = ExperimentRunRecord(
-                    experiment_id=task[1],
-                    wall_seconds=0.0,
-                    status="error",
-                    error=message,
+        def record_figure_failure(task: tuple[str, str], message: str) -> None:
+            self.figure_records[task] = ExperimentRunRecord(
+                experiment_id=task[1],
+                wall_seconds=0.0,
+                status="error",
+                error=message,
+                retries=self.figure_retry_counts.get(task, 0),
+            )
+
+        def fail_artifact(
+            address: str, message: str, exc: BaseException | None = None
+        ) -> None:
+            """Mark an artifact failed and cascade to dependents/figures."""
+            stack = [(address, message)]
+            while stack:
+                current, current_message = stack.pop()
+                if current in failed or current in completed_artifacts:
+                    continue
+                failed[current] = current_message
+                task = self.tasks[current]
+                self._owner_errors[task.owner].append(
+                    f"{task.label}: {current_message}"
+                )
+                if exc is not None:
+                    self._tag_exceptions.setdefault(task.owner, exc)
+                downstream = f"artifact {task.label} failed: {current_message}"
+                for dependent in dependents.get(current, ()):
+                    stack.append((dependent, downstream))
+                for figure_task in self.figure_grid:
+                    if figure_task in self.figure_records:
+                        continue
+                    if current in self.figure_needs[figure_task]:
+                        record_figure_failure(
+                            figure_task,
+                            f"shared artifact {task.label} failed: {current_message}",
+                        )
+                        if exc is not None:
+                            self._tag_exceptions.setdefault(figure_task[0], exc)
+
+        def artifact_done(address: str) -> None:
+            if address in completed_artifacts:
+                return
+            completed_artifacts.add(address)
+            for dependent in dependents.get(address, ()):
+                dep_left[dependent] -= 1
+            for figure_task in self.figure_grid:
+                if address in self.figure_needs[figure_task]:
+                    figure_left[figure_task] -= 1
+
+        def runnable(key: tuple[str, Any]) -> bool:
+            kind, payload = key
+            if key in flying:
+                return False
+            if kind == "artifact":
+                return (
+                    payload not in failed
+                    and payload not in completed_artifacts
+                    and dep_left[payload] == 0
+                )
+            return payload not in self.figure_records and figure_left[payload] == 0
+
+        def submit(key: tuple[str, Any]) -> bool:
+            """Submit one task; ``False`` means the pool refused (broken)."""
+            kind, payload = key
+            try:
+                if kind == "artifact":
+                    task = self.tasks[payload]
+                    future = pool.submit(
+                        _materialize_in_worker,
+                        task.key,
+                        self.configs[task.owner],
+                        self.cache_dir,
+                    )
+                else:
+                    tag, experiment_id = payload
+                    future = pool.submit(
+                        _run_in_worker, experiment_id, self.configs[tag], self.cache_dir
+                    )
+            except Exception:
+                return False
+            inflight[future] = key
+            flying.add(key)
+            if self.task_timeout is not None:
+                deadlines[future] = time.monotonic() + self.task_timeout
+            return True
+
+        def submit_ready() -> bool:
+            """Fill the pool; ``False`` means it broke mid-submission."""
+            nonlocal probe_future
+            if probe_future is not None:
+                return True  # probing: exactly one task in flight at a time
+            while probe_queue:
+                key = probe_queue.pop(0)
+                if not runnable(key):
+                    continue
+                if not submit(key):
+                    probe_queue.insert(0, key)
+                    return False
+                probe_future = next(f for f, k in inflight.items() if k == key)
+                return True
+            for address in to_compute:
+                key = ("artifact", address)
+                if runnable(key) and not submit(key):
+                    return False
+            for figure_task in self.figure_grid:
+                key = ("figure", figure_task)
+                if runnable(key) and not submit(key):
+                    return False
+            return True
+
+        def complete(future: Any, key: tuple[str, Any]) -> None:
+            """Fold one successfully finished task into the run state."""
+            kind, payload = key
+            if kind == "artifact":
+                _, elapsed, stats, events = future.result()
+                owner = self.tasks[payload].owner
+                self._owner_wall[owner] += elapsed
+                self._owner_stats[owner].merge(stats)
+                self._owner_events[owner].extend(events)
+                artifact_done(payload)
+            else:
+                _, result, elapsed, stats = future.result()
+                self.results[payload] = result
+                self.figure_records[payload] = ExperimentRunRecord(
+                    experiment_id=payload[1],
+                    wall_seconds=elapsed,
+                    cache=stats,
+                    retries=self.figure_retry_counts.get(payload, 0),
                 )
 
-            def fail_artifact(
-                address: str, message: str, exc: BaseException | None = None
-            ) -> None:
-                """Mark an artifact failed and cascade to dependents/figures."""
-                stack = [(address, message)]
-                while stack:
-                    current, current_message = stack.pop()
-                    if current in failed:
+        def isolate(key: tuple[str, Any], message: str, exc: BaseException | None) -> None:
+            """Route a poison task into the ordinary failure-cascade path."""
+            kind, payload = key
+            if kind == "artifact":
+                fail_artifact(payload, message, exc)
+            else:
+                if exc is not None:
+                    self._tag_exceptions.setdefault(payload[0], exc)
+                record_figure_failure(payload, message)
+
+        def handle_pool_failure(
+            crashed: list[tuple[str, Any]],
+            attributed: list[tuple[str, Any]],
+            exc: BaseException | None,
+            reason: str,
+        ) -> None:
+            """Rebuild the pool; charge ``attributed`` tasks, requeue the rest.
+
+            A broken pool poisons every in-flight future with the same
+            exception, so the crasher is only knowable when it flew alone
+            (or overran its deadline).  Unattributed suspects are requeued
+            without a strike and probed one at a time.
+            """
+            nonlocal pool, probe_future
+            probe_future = None
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            inflight.clear()
+            flying.clear()
+            deadlines.clear()
+            self.pool_rebuilds += 1
+            delay = min(
+                self.backoff_cap, self.retry_backoff * (2 ** (self.pool_rebuilds - 1))
+            )
+            if delay > 0:
+                time.sleep(delay)
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            charged = set(attributed)
+            for key in crashed:
+                kind, payload = key
+                if kind == "artifact" and (
+                    payload in completed_artifacts or payload in failed
+                ):
+                    continue
+                if kind == "figure" and payload in self.figure_records:
+                    continue
+                if key in charged:
+                    attempts[key] = attempts.get(key, 0) + 1
+                    if attempts[key] > self.max_retries:
+                        isolate(
+                            key,
+                            f"{reason}; isolated after "
+                            f"{attempts[key]} attributed failures",
+                            exc,
+                        )
                         continue
-                    failed[current] = current_message
-                    task = self.tasks[current]
-                    self._owner_errors[task.owner].append(
-                        f"{task.label}: {current_message}"
+                if kind == "artifact":
+                    self.artifact_retry_counts[payload] = (
+                        self.artifact_retry_counts.get(payload, 0) + 1
                     )
-                    if exc is not None:
-                        self._tag_exceptions.setdefault(task.owner, exc)
-                    downstream = f"artifact {task.label} failed: {current_message}"
-                    for dependent in dependents.get(current, ()):
-                        if dependent not in submitted_artifacts:
-                            stack.append((dependent, downstream))
-                    for figure_task in self.figure_grid:
-                        if (
-                            figure_task in submitted_figures
-                            or figure_task in self.figure_records
-                        ):
-                            continue
-                        if current in self.figure_needs[figure_task]:
-                            record_figure_failure(
-                                figure_task,
-                                f"shared artifact {task.label} failed: {current_message}",
-                            )
-                            if exc is not None:
-                                self._tag_exceptions.setdefault(figure_task[0], exc)
+                else:
+                    self.figure_retry_counts[payload] = (
+                        self.figure_retry_counts.get(payload, 0) + 1
+                    )
+                if key not in probe_queue:
+                    probe_queue.append(key)
 
-            def submit_ready() -> None:
-                for address in to_compute:
-                    if (
-                        address in submitted_artifacts
-                        or address in failed
-                        or dep_left[address] > 0
-                    ):
-                        continue
-                    task = self.tasks[address]
-                    try:
-                        future = pool.submit(
-                            _materialize_in_worker,
-                            task.key,
-                            self.configs[task.owner],
-                            self.cache_dir,
+        try:
+            healthy = submit_ready()
+            while inflight or probe_queue or not healthy:
+                if not healthy:
+                    # The pool broke while we were feeding it.
+                    handle_pool_failure(
+                        list(inflight.values()),
+                        list(inflight.values()) if len(inflight) == 1 else [],
+                        None,
+                        "worker pool broke during submission",
+                    )
+                    healthy = submit_ready()
+                    continue
+                if not inflight:
+                    # Probe queue drained to only unrunnable entries.
+                    probe_queue.clear()
+                    healthy = submit_ready()
+                    if not inflight and healthy:
+                        break
+                    continue
+                poll = None
+                if deadlines:
+                    poll = max(
+                        0.05, min(deadlines.values()) - time.monotonic() + 0.01
+                    )
+                done, _ = wait(set(inflight), timeout=poll, return_when=FIRST_COMPLETED)
+                if not done:
+                    now = time.monotonic()
+                    overdue = [
+                        inflight[f]
+                        for f in list(inflight)
+                        if deadlines.get(f, float("inf")) <= now
+                    ]
+                    if overdue:
+                        timeout_exc: BaseException = ExperimentError(
+                            f"task exceeded task_timeout={self.task_timeout}s"
                         )
-                    except Exception as exc:
-                        # A broken pool (e.g. an OOM-killed worker) makes
-                        # further submissions raise; record the failure so
-                        # the report-before-raise contract survives.
-                        fail_artifact(address, f"{type(exc).__name__}: {exc}", exc)
-                        continue
-                    submitted_artifacts.add(address)
-                    futures[future] = ("artifact", address)
-                for figure_task in self.figure_grid:
-                    if (
-                        figure_task in submitted_figures
-                        or figure_task in self.figure_records
-                        or figure_left[figure_task] > 0
-                    ):
-                        continue
-                    tag, experiment_id = figure_task
-                    try:
-                        future = pool.submit(
-                            _run_in_worker, experiment_id, self.configs[tag], self.cache_dir
+                        handle_pool_failure(
+                            list(inflight.values()),
+                            overdue,
+                            timeout_exc,
+                            f"timed out after {self.task_timeout}s",
                         )
-                    except Exception as exc:
-                        self._tag_exceptions.setdefault(figure_task[0], exc)
-                        record_figure_failure(
-                            figure_task, f"{type(exc).__name__}: {exc}"
-                        )
-                        continue
-                    submitted_figures.add(figure_task)
-                    futures[future] = ("figure", figure_task)
-
-            def artifact_done(address: str) -> None:
-                for dependent in dependents.get(address, ()):
-                    dep_left[dependent] -= 1
-                for figure_task in self.figure_grid:
-                    if address in self.figure_needs[figure_task]:
-                        figure_left[figure_task] -= 1
-
-            submit_ready()
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                        healthy = submit_ready()
+                    continue
+                crashed: list[tuple[str, Any]] = []
+                crash_exc: BaseException | None = None
                 for future in done:
-                    task_type, payload = futures.pop(future)
+                    key = inflight.pop(future)
+                    flying.discard(key)
+                    deadlines.pop(future, None)
+                    if future is probe_future:
+                        probe_future = None
                     error = future.exception()
-                    if task_type == "artifact":
-                        address = payload
-                        if error is not None:
-                            fail_artifact(
-                                address, f"{type(error).__name__}: {error}", error
-                            )
-                            continue
-                        _, elapsed, stats, events = future.result()
-                        owner = self.tasks[address].owner
-                        self._owner_wall[owner] += elapsed
-                        self._owner_stats[owner].merge(stats)
-                        self._owner_events[owner].extend(events)
-                        artifact_done(address)
+                    if error is None:
+                        complete(future, key)
+                    elif isinstance(error, BrokenExecutor):
+                        # The worker died (segfault, OOM kill, hard exit):
+                        # retryable, unlike a deterministic task exception.
+                        crashed.append(key)
+                        crash_exc = error
+                    elif key[0] == "artifact":
+                        fail_artifact(key[1], f"{type(error).__name__}: {error}", error)
                     else:
-                        if error is not None:
-                            # A BrokenProcessPool poisons every future with
-                            # the same exception; recording it per-experiment
-                            # keeps the report complete either way.
-                            self._tag_exceptions.setdefault(payload[0], error)
-                            record_figure_failure(
-                                payload, f"{type(error).__name__}: {error}"
-                            )
-                            continue
-                        _, result, elapsed, stats = future.result()
-                        self.results[payload] = result
-                        self.figure_records[payload] = ExperimentRunRecord(
-                            experiment_id=payload[1],
-                            wall_seconds=elapsed,
-                            cache=stats,
+                        self._tag_exceptions.setdefault(key[1][0], error)
+                        record_figure_failure(
+                            key[1], f"{type(error).__name__}: {error}"
                         )
-                submit_ready()
-
-            # Anything still unscheduled lost its dependency chain.
-            for address in to_compute:
-                if address not in submitted_artifacts and address not in failed:
-                    fail_artifact(address, "never became schedulable")
-            for figure_task in self.figure_grid:
-                if figure_task not in self.figure_records:
-                    record_figure_failure(
-                        figure_task,
-                        "shared artifact phase failed before this figure ran",
+                if crashed:
+                    # The break poisons everything still in flight; sweep
+                    # survivors that actually finished, requeue the rest.
+                    remaining = []
+                    for future, key in list(inflight.items()):
+                        if future.done() and future.exception() is None:
+                            complete(future, key)
+                        else:
+                            remaining.append(key)
+                    attributed = (
+                        crashed if len(crashed) == 1 and not remaining else []
                     )
+                    handle_pool_failure(
+                        crashed + remaining,
+                        attributed,
+                        crash_exc,
+                        "worker process crashed",
+                    )
+                healthy = submit_ready()
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+        # Anything still unscheduled lost its dependency chain.
+        for address in to_compute:
+            if address not in completed_artifacts and address not in failed:
+                fail_artifact(address, "never became schedulable")
+        for figure_task in self.figure_grid:
+            if figure_task not in self.figure_records:
+                record_figure_failure(
+                    figure_task,
+                    "shared artifact phase failed before this figure ran",
+                )
 
 
 def run_experiments(

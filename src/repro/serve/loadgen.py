@@ -118,7 +118,7 @@ def _measure_all(workload: ServingWorkload) -> list[ServingRow]:
             stream: [measure_stream(context, workload, *stream)] for stream in streams
         }
     else:
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
         summaries = {stream: [] for stream in streams}
         with ProcessPoolExecutor(
@@ -133,8 +133,20 @@ def _measure_all(workload: ServingWorkload) -> list[ServingRow]:
                 ]
                 for stream in streams
             }
-            for stream, handles in futures.items():
-                summaries[stream] = [handle.result() for handle in handles]
+            for (family, mode), handles in futures.items():
+                for worker_index, handle in enumerate(handles):
+                    try:
+                        summaries[(family, mode)].append(handle.result())
+                    except BrokenExecutor as exc:
+                        # A dead worker (OOM kill, segfault) poisons every
+                        # future with the same bare exception; name the
+                        # stream so the failure is actionable.
+                        raise ServeError(
+                            f"serving worker {worker_index} of {workload.workers} "
+                            f"died while measuring family={family!r} mode={mode!r} "
+                            f"(n_nodes={workload.n_nodes}): {type(exc).__name__}: "
+                            f"{exc}"
+                        ) from exc
     return [
         ServingRow(
             family=family,

@@ -1,0 +1,274 @@
+"""Checkpoint + write-ahead-log durability for the streaming service.
+
+The service's whole value is its accumulated live state — an embedding
+that took the full trace to converge.  This module makes that state
+survive a crash with a classic two-piece recovery protocol:
+
+* **Checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`):
+  the complete :meth:`~repro.stream.service.StreamCoordinateService.state_dict`
+  persisted as a schema-tagged ``stream-checkpoint/v1`` ``.npz`` — the
+  embedding's full-capacity arrays as npz members, everything else
+  (edge memory, severity EWMAs, defense ledger, RNG bit-generator
+  state) as an embedded JSON blob.  Writes go through a temp file +
+  atomic rename so a crash mid-checkpoint never leaves a torn file
+  where a good one stood.
+* **The WAL** (:class:`WalWriter` / :func:`read_wal`): an append-only
+  JSONL of every applied event, each line carrying its global sequence
+  number and flushed before the event is considered applied.  A torn
+  final line (the crash landed mid-write) is tolerated and dropped;
+  damage anywhere else raises a typed :class:`StreamError` naming the
+  path.
+
+:func:`recover` composes them: restore the newest checkpoint, then
+re-apply the WAL suffix (``seq >= checkpoint.n_events``).  Because the
+checkpoint captures *every* input to future behaviour — including the
+shared RNG stream and the embedding's free-slot stack — the recovered
+service is **bit-identical** to one that never stopped, which
+:func:`state_fingerprint` makes cheap to assert: two services with equal
+fingerprints answer every query identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.stream.events import Event, MeasurementEvent, NodeJoin, NodeLeave
+from repro.stream.service import StreamCoordinateService
+
+PathLike = Union[str, Path]
+
+#: Schema tag of the on-disk checkpoint files.
+CHECKPOINT_SCHEMA = "stream-checkpoint/v1"
+
+#: Embedding arrays stored as npz members instead of inside the JSON blob.
+_ARRAY_KEYS = ("coords", "heights", "errors", "last_update", "update_counts")
+
+
+# -- checkpoints ---------------------------------------------------------------
+
+
+def save_checkpoint(service: StreamCoordinateService, path: PathLike) -> None:
+    """Persist the service's complete state as one ``.npz`` checkpoint.
+
+    The write is atomic (temp file + rename): a crash during the save
+    leaves either the previous checkpoint or the new one, never a torn
+    file.
+    """
+    path = Path(path)
+    state = service.state_dict()
+    embedding = dict(state["embedding"])
+    arrays = {key: np.asarray(embedding.pop(key)) for key in _ARRAY_KEYS}
+    state["embedding"] = embedding
+    blob = json.dumps({"schema": CHECKPOINT_SCHEMA, "state": state})
+    tmp = path.with_name(path.name + ".tmp")
+    np.savez_compressed(
+        tmp,
+        state=np.frombuffer(blob.encode("utf-8"), dtype=np.uint8),
+        **arrays,
+    )
+    # savez appends .npz when the target lacks the suffix.
+    written = tmp if tmp.exists() else tmp.with_name(tmp.name + ".npz")
+    written.replace(path)
+
+
+def load_checkpoint(path: PathLike) -> StreamCoordinateService:
+    """Restore a service from a checkpoint written by :func:`save_checkpoint`.
+
+    Damaged files — truncation, corrupt members, missing arrays, a bad
+    schema tag — surface as typed :class:`StreamError`\\ s naming the
+    path, mirroring :func:`repro.stream.events.load_trace`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StreamError(f"checkpoint file not found: {path}")
+    try:
+        with np.load(path) as data:
+            try:
+                payload = json.loads(bytes(data["state"]).decode("utf-8"))
+                arrays = {key: np.array(data[key]) for key in _ARRAY_KEYS}
+            except KeyError as exc:
+                raise StreamError(
+                    f"{path} is not a stream checkpoint (missing {exc})"
+                ) from None
+    except StreamError:
+        raise
+    except Exception as exc:
+        raise StreamError(
+            f"checkpoint file {path} is truncated or corrupted "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if payload.get("schema") != CHECKPOINT_SCHEMA:
+        raise StreamError(f"{path} is not a {CHECKPOINT_SCHEMA} file")
+    state = payload["state"]
+    state["embedding"] = {**state["embedding"], **arrays}
+    try:
+        return StreamCoordinateService.from_state(state)
+    except StreamError:
+        raise
+    except Exception as exc:
+        raise StreamError(
+            f"checkpoint file {path} holds an invalid state ({exc})"
+        ) from exc
+
+
+# -- the write-ahead log -------------------------------------------------------
+
+
+def _encode_event(seq: int, event: Event) -> dict:
+    if isinstance(event, MeasurementEvent):
+        return {
+            "seq": seq,
+            "kind": "measure",
+            "t": event.t,
+            "src": event.src,
+            "dst": event.dst,
+            "rtt": event.rtt,
+        }
+    if isinstance(event, NodeJoin):
+        return {"seq": seq, "kind": "join", "t": event.t, "node": event.node}
+    if isinstance(event, NodeLeave):
+        return {"seq": seq, "kind": "leave", "t": event.t, "node": event.node}
+    raise StreamError(f"cannot log unknown stream event {event!r}")
+
+
+def _decode_event(record: dict) -> tuple[int, Event]:
+    kind = record["kind"]
+    if kind == "measure":
+        event: Event = MeasurementEvent(
+            float(record["t"]), int(record["src"]), int(record["dst"]),
+            float(record["rtt"]),
+        )
+    elif kind == "join":
+        event = NodeJoin(float(record["t"]), int(record["node"]))
+    elif kind == "leave":
+        event = NodeLeave(float(record["t"]), int(record["node"]))
+    else:
+        raise KeyError(f"unknown WAL event kind {kind!r}")
+    return int(record["seq"]), event
+
+
+class WalWriter:
+    """Append-only JSONL event log, flushed line by line.
+
+    Each :meth:`log` call writes one self-describing line (sequence
+    number, event kind, payload) and flushes it, so after a crash the log
+    is complete up to — at worst — one torn final line, which
+    :func:`read_wal` tolerates.
+    """
+
+    def __init__(self, path: PathLike, *, append: bool = False):
+        self._path = Path(path)
+        self._handle = open(self._path, "a" if append else "w", encoding="utf-8")
+
+    def log(self, seq: int, event: Event) -> None:
+        """Append one event under global sequence number ``seq``."""
+        self._handle.write(json.dumps(_encode_event(int(seq), event)) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "WalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_wal(path: PathLike) -> list[tuple[int, Event]]:
+    """Read a WAL back as ``(seq, event)`` pairs.
+
+    A torn *final* line — the signature of a crash mid-write — is
+    silently dropped; an undecodable line anywhere else means real
+    corruption and raises a typed :class:`StreamError` naming the path.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StreamError(f"WAL file not found: {path}")
+    entries: list[tuple[int, Event]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entries.append(_decode_event(json.loads(line)))
+        except Exception as exc:
+            if index == len(lines) - 1:
+                break  # torn tail from a crash mid-write: recover without it
+            raise StreamError(
+                f"WAL file {path} is corrupted at line {index + 1} "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+    for (seq_a, _), (seq_b, _) in zip(entries, entries[1:]):
+        if seq_b != seq_a + 1:
+            raise StreamError(
+                f"WAL file {path} has a sequence gap ({seq_a} -> {seq_b})"
+            )
+    return entries
+
+
+# -- recovery ------------------------------------------------------------------
+
+
+def recover(
+    checkpoint_path: PathLike,
+    wal_path: PathLike | None = None,
+) -> StreamCoordinateService:
+    """Restore a service from a checkpoint plus the WAL suffix beyond it.
+
+    WAL entries the checkpoint already covers (``seq < n_events``) are
+    skipped; the rest must form a gapless continuation or recovery
+    refuses with a typed error (silently resuming over a hole would
+    corrupt the embedding while claiming bit-identity).
+    """
+    service = load_checkpoint(checkpoint_path)
+    if wal_path is not None and Path(wal_path).exists():
+        for seq, event in read_wal(wal_path):
+            if seq < service.n_events:
+                continue
+            if seq != service.n_events:
+                raise StreamError(
+                    f"WAL {wal_path} starts at seq {seq} but the checkpoint "
+                    f"covers only {service.n_events} events; refusing to "
+                    "recover across the gap"
+                )
+            service.apply(event)
+    return service
+
+
+# -- state fingerprinting ------------------------------------------------------
+
+
+def state_fingerprint(service: StreamCoordinateService) -> str:
+    """SHA-256 over the service's canonicalised complete state.
+
+    Two services with equal fingerprints hold bit-identical live state —
+    coordinates, heights, errors, edge memory, severity EWMAs, defense
+    ledger and RNG stream — and therefore answer every future query and
+    process every future event identically.  Collections whose iteration
+    order is incidental (edge maps, the suspicion ledger) are sorted
+    before hashing so the fingerprint only reflects state that matters.
+    """
+    state = service.state_dict()
+    embedding = dict(state["embedding"])
+    digest = hashlib.sha256()
+    for key in _ARRAY_KEYS:
+        array = np.ascontiguousarray(embedding.pop(key))
+        digest.update(key.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    state["embedding"] = embedding
+    state["edge_rtt"] = sorted(state["edge_rtt"])
+    state["severity"] = sorted(state["severity"])
+    state["peers"] = sorted((node, peers) for node, peers in state["peers"].items())
+    state["suspicion"] = sorted(state["suspicion"].items())
+    state["probation"] = sorted(state["probation"].items())
+    digest.update(json.dumps(state, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()

@@ -78,11 +78,18 @@ class Trace:
         Provenance of the synthesis (preset, scenario, seed, duration,
         rates) — carried into stream reports, never interpreted by
         replay.
+    ordered:
+        Whether the trace promises time-ordered events.  ``True`` (the
+        default) enforces the ordering invariant at construction; fault
+        injection (:mod:`repro.stream.faults`) sets ``False`` when clock
+        skew produced a genuinely out-of-order stream, which only a
+        defended service replays without error.
     """
 
     events: tuple[Event, ...]
     ground_truth: np.ndarray
     meta: dict = field(default_factory=dict)
+    ordered: bool = True
 
     def __post_init__(self) -> None:
         truth = np.asarray(self.ground_truth, dtype=float)
@@ -93,7 +100,7 @@ class Trace:
         object.__setattr__(self, "ground_truth", truth)
         object.__setattr__(self, "events", tuple(self.events))
         times = [event.t for event in self.events]
-        if any(b < a for a, b in zip(times, times[1:])):
+        if self.ordered and any(b < a for a, b in zip(times, times[1:])):
             raise StreamError("trace events must be ordered by time")
         n = truth.shape[0]
         for event in self.events:
@@ -123,7 +130,15 @@ class Trace:
         """Time span covered by the events (0 for an empty trace)."""
         if not self.events:
             return 0.0
-        return float(self.events[-1].t) - float(self.events[0].t)
+        return float(max(e.t for e in self.events)) - float(
+            min(e.t for e in self.events)
+        )
+
+    @property
+    def out_of_order_count(self) -> int:
+        """Adjacent event pairs whose timestamps regress (0 when ordered)."""
+        times = [event.t for event in self.events]
+        return sum(1 for a, b in zip(times, times[1:]) if b < a)
 
     def counts(self) -> dict[str, int]:
         """Event counts by kind."""
@@ -162,6 +177,12 @@ def _pack_events(events: tuple[Event, ...]):
 
 
 def _unpack_events(kind, t, a, b, rtt) -> tuple[Event, ...]:
+    lengths = {len(kind), len(t), len(a), len(b), len(rtt)}
+    if len(lengths) != 1:
+        raise StreamError(
+            "trace event arrays disagree in length "
+            f"(kind={len(kind)}, t={len(t)}, a={len(a)}, b={len(b)}, rtt={len(rtt)})"
+        )
     events: list[Event] = []
     for k, tk, ak, bk, rk in zip(kind, t, a, b, rtt):
         if k == _KIND_MEASUREMENT:
@@ -178,7 +199,7 @@ def _unpack_events(kind, t, a, b, rtt) -> tuple[Event, ...]:
 def save_trace(trace: Trace, path: PathLike) -> None:
     """Persist a trace as one compressed ``.npz`` file."""
     kind, t, a, b, rtt = _pack_events(trace.events)
-    meta = {"schema": TRACE_SCHEMA, **trace.meta}
+    meta = {"schema": TRACE_SCHEMA, "ordered": trace.ordered, **trace.meta}
     np.savez_compressed(
         Path(path),
         kind=kind,
@@ -192,19 +213,43 @@ def save_trace(trace: Trace, path: PathLike) -> None:
 
 
 def load_trace(path: PathLike) -> Trace:
-    """Load a trace written by :func:`save_trace`."""
+    """Load a trace written by :func:`save_trace`.
+
+    Every failure mode of a damaged file — truncation mid-archive, a
+    corrupted member, garbage bytes, a missing array, undecodable
+    metadata — surfaces as a typed :class:`StreamError` naming the path
+    (mirroring the artifact cache's corrupt-entry handling), never as a
+    raw ``zipfile``/``numpy``/``KeyError`` traceback.
+    """
     path = Path(path)
     if not path.exists():
         raise StreamError(f"trace file not found: {path}")
-    with np.load(path) as data:
-        try:
-            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-            events = _unpack_events(
-                data["kind"], data["t"], data["a"], data["b"], data["rtt"]
-            )
-            truth = data["ground_truth"]
-        except KeyError as exc:
-            raise StreamError(f"{path} is not a stream trace (missing {exc})") from None
+    try:
+        with np.load(path) as data:
+            try:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+                events = _unpack_events(
+                    data["kind"], data["t"], data["a"], data["b"], data["rtt"]
+                )
+                truth = data["ground_truth"]
+            except KeyError as exc:
+                raise StreamError(
+                    f"{path} is not a stream trace (missing {exc})"
+                ) from None
+    except StreamError:
+        raise
+    except Exception as exc:
+        # zipfile.BadZipFile (truncated archive), ValueError (not an npz /
+        # corrupted member), OSError/EOFError (short reads), JSON or
+        # unicode errors in the meta blob — all mean the same thing to the
+        # caller: this trace file is unusable.
+        raise StreamError(
+            f"trace file {path} is truncated or corrupted ({type(exc).__name__}: {exc})"
+        ) from exc
     if meta.pop("schema", None) != TRACE_SCHEMA:
         raise StreamError(f"{path} is not a {TRACE_SCHEMA} file")
-    return Trace(events=events, ground_truth=truth, meta=meta)
+    ordered = bool(meta.pop("ordered", True))
+    try:
+        return Trace(events=events, ground_truth=truth, meta=meta, ordered=ordered)
+    except StreamError as exc:
+        raise StreamError(f"trace file {path} holds an invalid trace: {exc}") from None

@@ -1,0 +1,254 @@
+"""Declarative, seed-deterministic fault injection for measurement traces.
+
+The paper's core observation is that wide-area delay data misbehaves —
+TIVs make it metrically inconsistent, and systems that trust it degrade
+silently.  This module makes that misbehaviour *reproducible*: a
+:class:`FaultSpec` declares how a clean trace should be corrupted, and
+:func:`apply_faults` rewrites the trace deterministically from the spec's
+seed.  The injected taxonomy mirrors what production coordinate systems
+("Network Coordinates in the Wild") actually survive:
+
+* **RTT spikes** — a random fraction of measurements multiplied by a large
+  factor (transient congestion, route flaps, queueing bursts).
+* **Byzantine liars** — a fixed subset of nodes whose *reported*
+  measurements (events they issue as ``src``) are consistently inflated.
+  The liar set is recorded in the faulted trace's meta so chaos replays
+  can score quarantine precision/recall against ground truth.
+* **Clock skew** — a fraction of measurement timestamps perturbed while
+  arrival order is preserved, producing out-of-order event streams (the
+  resulting trace is marked ``ordered=False``).
+* **Duplicate events** — a fraction of measurements delivered twice
+  (at-least-once transports).
+* **Flapping churn** — extra leave/rejoin pairs injected at random valid
+  points, exercising slot reuse and re-localisation far beyond the
+  synthesiser's gentle churn plan.
+
+Faulted traces remain plain :class:`~repro.stream.events.Trace` values:
+they persist through the normal ``.npz`` round-trip and replay through
+the normal service — which is the point, because the service's defense
+layer (`StreamServiceConfig.defense`) is measured against them by
+:mod:`repro.stream.chaos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.stream.events import Event, MeasurementEvent, NodeJoin, NodeLeave, Trace
+
+#: Dedicated RNG stream salt so fault draws never collide with the trace
+#: synthesis or replay streams derived from the same user-facing seed.
+_FAULT_STREAM = 0xFA117
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of the corruption applied to one trace.
+
+    All fractions are of the relevant population (measurement events for
+    spikes/skew/duplicates, ground-truth nodes for liars); a default
+    (all-zero) spec is a no-op.  Injection is a pure function of
+    ``(trace, spec)`` — the spec's own ``seed`` drives every draw.
+    """
+
+    liar_fraction: float = 0.0
+    liar_inflation: float = 5.0
+    spike_fraction: float = 0.0
+    spike_multiplier: float = 10.0
+    skew_fraction: float = 0.0
+    max_skew_seconds: float = 3.0
+    duplicate_fraction: float = 0.0
+    flap_count: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("liar_fraction", "spike_fraction", "skew_fraction", "duplicate_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise StreamError(f"{name} must lie in [0, 1], got {value}")
+        if self.liar_inflation <= 1.0:
+            raise StreamError("liar_inflation must be > 1 (liars inflate their reports)")
+        if self.spike_multiplier <= 1.0:
+            raise StreamError("spike_multiplier must be > 1")
+        if self.max_skew_seconds < 0:
+            raise StreamError("max_skew_seconds must be >= 0")
+        if self.flap_count < 0:
+            raise StreamError("flap_count must be >= 0")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when applying this spec would leave any trace unchanged."""
+        return (
+            self.liar_fraction == 0.0
+            and self.spike_fraction == 0.0
+            and self.skew_fraction == 0.0
+            and self.duplicate_fraction == 0.0
+            and self.flap_count == 0
+        )
+
+    def as_dict(self) -> dict:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    #: ``--faults`` token -> field name (short spellings for the CLI).
+    _TOKENS = {
+        "liars": "liar_fraction",
+        "liar_inflation": "liar_inflation",
+        "spikes": "spike_fraction",
+        "spike_mult": "spike_multiplier",
+        "skew": "skew_fraction",
+        "max_skew": "max_skew_seconds",
+        "dupes": "duplicate_fraction",
+        "flaps": "flap_count",
+        "seed": "seed",
+    }
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a ``--faults`` mini-spec like ``"liars=0.1,spikes=0.05"``.
+
+        Tokens: ``liars``, ``liar_inflation``, ``spikes``, ``spike_mult``,
+        ``skew``, ``max_skew``, ``dupes``, ``flaps``, ``seed`` — each a
+        ``key=value`` pair, comma-separated.
+        """
+        kwargs: dict = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in cls._TOKENS:
+                known = ", ".join(sorted(cls._TOKENS))
+                raise StreamError(
+                    f"bad fault token {part!r}; expected key=value with key in: {known}"
+                )
+            name = cls._TOKENS[key]
+            try:
+                value: float | int
+                value = int(raw) if name in ("flap_count", "seed") else float(raw)
+            except ValueError:
+                raise StreamError(f"bad fault value in {part!r}") from None
+            kwargs[name] = value
+        return cls(**kwargs)
+
+
+def _fault_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng([abs(int(seed)) & 0xFFFFFFFF, _FAULT_STREAM])
+
+
+def apply_faults(trace: Trace, spec: FaultSpec) -> Trace:
+    """Apply ``spec`` to ``trace``, returning a new (possibly unordered) trace.
+
+    Transformations run in a fixed order — liars, spikes, duplicates,
+    flapping churn, clock skew — each drawing from the spec-seeded stream,
+    so a given ``(trace, spec)`` pair always produces byte-identical
+    output.  The returned trace's meta carries the spec (``"faults"``) and
+    the drawn liar set (``"fault_liars"``) for downstream scoring.
+    """
+    if spec.is_noop:
+        return trace
+    rng = _fault_rng(spec.seed)
+    n = trace.n_nodes
+    events: list[Event] = list(trace.events)
+
+    # Byzantine liars: a fixed node subset whose issued measurements are
+    # consistently inflated.  Consistency is what distinguishes a liar
+    # from a spike — every report is wrong the same way.
+    n_liars = int(round(spec.liar_fraction * n))
+    liars: set[int] = set()
+    if n_liars:
+        liars = {int(node) for node in rng.choice(n, size=n_liars, replace=False)}
+        events = [
+            MeasurementEvent(e.t, e.src, e.dst, e.rtt * spec.liar_inflation)
+            if isinstance(e, MeasurementEvent) and e.src in liars
+            else e
+            for e in events
+        ]
+
+    measurement_idx = [
+        i for i, e in enumerate(events) if isinstance(e, MeasurementEvent)
+    ]
+
+    # Transient RTT spikes on a random measurement subset.
+    n_spikes = int(round(spec.spike_fraction * len(measurement_idx)))
+    if n_spikes:
+        chosen = rng.choice(len(measurement_idx), size=n_spikes, replace=False)
+        for pos in sorted(int(c) for c in chosen):
+            i = measurement_idx[pos]
+            e = events[i]
+            events[i] = MeasurementEvent(e.t, e.src, e.dst, e.rtt * spec.spike_multiplier)
+
+    # Duplicate delivery: the duplicate lands immediately after the
+    # original with the same timestamp, so ordering is preserved.
+    n_dupes = int(round(spec.duplicate_fraction * len(measurement_idx)))
+    if n_dupes:
+        chosen = rng.choice(len(measurement_idx), size=n_dupes, replace=False)
+        duplicated = {measurement_idx[int(c)] for c in chosen}
+        doubled: list[Event] = []
+        for i, e in enumerate(events):
+            doubled.append(e)
+            if i in duplicated:
+                doubled.append(e)
+        events = doubled
+
+    # Flapping churn: leave + immediate rejoin of a random active node at
+    # a random valid point.  One pass tracks the live set so injected
+    # pairs never violate membership invariants; the rejoined node loses
+    # its coordinate and must re-localise.
+    if spec.flap_count and len(events) > 1:
+        positions = np.sort(rng.integers(1, len(events), size=spec.flap_count))
+        flapped: list[Event] = []
+        active: set[int] = set()
+        pos_idx = 0
+        for i, e in enumerate(events):
+            while pos_idx < len(positions) and positions[pos_idx] == i:
+                pos_idx += 1
+                if active:
+                    pool = sorted(active)
+                    node = pool[int(rng.integers(len(pool)))]
+                    t = float(e.t)
+                    flapped.append(NodeLeave(t, node))
+                    flapped.append(NodeJoin(t, node))
+            flapped.append(e)
+            if isinstance(e, NodeJoin):
+                active.add(e.node)
+            elif isinstance(e, NodeLeave):
+                active.discard(e.node)
+        events = flapped
+
+    # Clock skew: perturb measurement timestamps but keep arrival order —
+    # the stream the service sees is then genuinely out of order, which
+    # only a defended service survives (`DefenseConfig.drop_late_events`).
+    unordered = False
+    if spec.skew_fraction and spec.max_skew_seconds > 0:
+        measurement_idx = [
+            i for i, e in enumerate(events) if isinstance(e, MeasurementEvent)
+        ]
+        n_skewed = int(round(spec.skew_fraction * len(measurement_idx)))
+        if n_skewed:
+            chosen = rng.choice(len(measurement_idx), size=n_skewed, replace=False)
+            offsets = rng.uniform(
+                -spec.max_skew_seconds, spec.max_skew_seconds, size=n_skewed
+            )
+            t_min = float(events[0].t)
+            t_max = float(max(e.t for e in events))
+            for pos, offset in sorted(zip((int(c) for c in chosen), offsets)):
+                i = measurement_idx[pos]
+                e = events[i]
+                skewed_t = float(np.clip(e.t + offset, t_min, t_max))
+                events[i] = MeasurementEvent(skewed_t, e.src, e.dst, e.rtt)
+            times = [e.t for e in events]
+            unordered = any(b < a for a, b in zip(times, times[1:]))
+
+    meta = dict(trace.meta)
+    meta["faults"] = spec.as_dict()
+    meta["fault_liars"] = sorted(liars)
+    return Trace(
+        events=tuple(events),
+        ground_truth=trace.ground_truth,
+        meta=meta,
+        ordered=not unordered,
+    )

@@ -73,6 +73,7 @@ class StreamReport:
     windows: tuple[StreamWindow, ...]
     totals: dict
     queries: dict = field(default_factory=dict)
+    defense: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +83,7 @@ class StreamReport:
             "windows": [window.as_dict() for window in self.windows],
             "totals": dict(self.totals),
             "queries": dict(self.queries),
+            "defense": dict(self.defense),
         }
 
     def write(self, path) -> None:
@@ -111,7 +113,29 @@ def _window_metrics(
     truth: np.ndarray,
     rows: np.ndarray,
     cols: np.ndarray,
+    *,
+    scored: bool = True,
 ) -> StreamWindow:
+    if not scored:
+        # A resumed replay cannot re-score windows that closed before the
+        # recovery point: event counts come from the trace, live-state
+        # metrics are honestly absent.
+        return StreamWindow(
+            index=index,
+            t_start=float(t_start),
+            t_end=float(t_end),
+            events=int(counts["events"]),
+            measurements=int(counts["measurements"]),
+            joins=int(counts["joins"]),
+            leaves=int(counts["leaves"]),
+            active_nodes=service.n_active,
+            evaluated_edges=0,
+            median_relative_error=float("nan"),
+            mean_relative_error=float("nan"),
+            mean_staleness=float("nan"),
+            max_staleness=float("nan"),
+            alert_fraction=float("nan"),
+        )
     embedding = service.embedding
     errors = []
     alerts = evaluated_alerts = 0
@@ -158,8 +182,13 @@ def replay_trace(
     query_nodes: int = 8,
     query_edges: int = 8,
     rng=0,
+    checkpoint_path=None,
+    wal_path=None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
+    stop_after_events: int | None = None,
 ) -> StreamReport:
-    """Replay ``trace`` through a fresh service, scoring every window.
+    """Replay ``trace`` through a service, scoring every window.
 
     Parameters
     ----------
@@ -167,7 +196,8 @@ def replay_trace(
         The event stream plus ground truth to replay.
     config:
         Service parameters (defaults: the paper-faithful online Vivaldi
-        with height and rho gravity).
+        with height and rho gravity).  Ignored on ``resume`` — the
+        recovered checkpoint embeds its own config.
     window_seconds:
         Width of the scoring windows.
     eval_edges:
@@ -180,14 +210,60 @@ def replay_trace(
     rng:
         Seed of the service's random stream (coincident-coordinate
         pushes, witness sampling).  Replay is deterministic given
-        ``(trace, config, rng)``.
+        ``(trace, config, rng)``.  Ignored on ``resume``.
+    checkpoint_path:
+        Where to write checkpoints (and, with ``resume``, where to read
+        the one to restore).
+    wal_path:
+        Append-only event log written as events apply; with ``resume``
+        the WAL suffix beyond the checkpoint is replayed first, then
+        appended to.
+    checkpoint_every:
+        Checkpoint after every N applied events (0 disables periodic
+        checkpoints; a final checkpoint is still written when
+        ``checkpoint_path`` is set).
+    resume:
+        Recover live state from ``checkpoint_path`` (+ ``wal_path``) and
+        continue the replay from the first unapplied event.  Windows
+        that closed entirely before the recovery point are reported with
+        event counts only (their live-state metrics are ``nan`` — the
+        past cannot be re-scored); every window from the recovery point
+        on, and the final state fingerprint, are bit-identical to an
+        uninterrupted replay.
+    stop_after_events:
+        Stop applying after this many total events (simulating a crash
+        at an exact point; used by the recovery tests and the chaos CI
+        job).
     """
     if window_seconds <= 0:
         raise StreamError("window_seconds must be > 0")
     if not trace.events:
         raise StreamError("cannot replay an empty trace")
+    if checkpoint_every < 0:
+        raise StreamError("checkpoint_every must be >= 0")
+    if resume and checkpoint_path is None:
+        raise StreamError("resume requires a checkpoint_path")
 
-    service = StreamCoordinateService(config, rng=rng)
+    if resume:
+        from repro.stream.durability import recover
+
+        service = recover(checkpoint_path, wal_path)
+        skip = service.n_events
+        if skip > trace.n_events:
+            raise StreamError(
+                f"checkpoint covers {skip} events but the trace has only "
+                f"{trace.n_events}; wrong trace for this checkpoint?"
+            )
+    else:
+        service = StreamCoordinateService(config, rng=rng)
+        skip = 0
+
+    wal = None
+    if wal_path is not None:
+        from repro.stream.durability import WalWriter
+
+        wal = WalWriter(wal_path, append=resume)
+
     truth = trace.ground_truth
     rows, cols = _evaluation_edges(truth, int(eval_edges))
 
@@ -195,8 +271,10 @@ def replay_trace(
     windows: list[StreamWindow] = []
     counts = {"events": 0, "measurements": 0, "joins": 0, "leaves": 0}
     boundary = t0 + window_seconds
+    applied = skip
+    stopped = False
 
-    def close_window(t_end: float) -> None:
+    def close_window(t_end: float, *, scored: bool) -> None:
         windows.append(
             _window_metrics(
                 len(windows),
@@ -207,36 +285,77 @@ def replay_trace(
                 truth,
                 rows,
                 cols,
+                scored=scored,
             )
         )
         counts.update(events=0, measurements=0, joins=0, leaves=0)
 
-    for event in trace.events:
-        while event.t >= boundary:
-            close_window(boundary)
-            boundary += window_seconds
-        service.apply(event)
-        counts["events"] += 1
-        if isinstance(event, MeasurementEvent):
-            counts["measurements"] += 1
-        elif isinstance(event, NodeJoin):
-            counts["joins"] += 1
-        else:
-            counts["leaves"] += 1
-    # The final window ends at the last event, not at the next nominal
-    # boundary — otherwise its span could extend a full window_seconds
-    # past the trace and misstate the window's time coverage.
-    close_window(min(boundary, float(trace.events[-1].t)))
+    try:
+        for index, event in enumerate(trace.events):
+            while event.t >= boundary:
+                # A window that closed before the recovery point cannot be
+                # re-scored against live state the service no longer is in.
+                close_window(boundary, scored=index >= skip)
+                boundary += window_seconds
+            if index < skip:
+                # Already inside the recovered state; replay the window
+                # bookkeeping (derivable from the trace alone) only.
+                pass
+            else:
+                if stop_after_events is not None and applied >= stop_after_events:
+                    stopped = True
+                    break
+                if wal is not None:
+                    wal.log(index, event)
+                service.apply(event)
+                applied += 1
+                if (
+                    checkpoint_path is not None
+                    and checkpoint_every
+                    and applied % checkpoint_every == 0
+                ):
+                    from repro.stream.durability import save_checkpoint
+
+                    save_checkpoint(service, checkpoint_path)
+            counts["events"] += 1
+            if isinstance(event, MeasurementEvent):
+                counts["measurements"] += 1
+            elif isinstance(event, NodeJoin):
+                counts["joins"] += 1
+            else:
+                counts["leaves"] += 1
+        # The final window ends at the last event (or, for a simulated
+        # crash, the service clock), not at the next nominal boundary —
+        # otherwise its span could extend a full window_seconds past the
+        # trace and misstate the window's time coverage.
+        t_final = service.clock if stopped else float(trace.events[-1].t)
+        close_window(min(boundary, t_final), scored=True)
+    finally:
+        if wal is not None:
+            wal.close()
+    if checkpoint_path is not None and not stopped:
+        # A simulated crash gets no graceful final checkpoint — recovery
+        # must work from the last periodic checkpoint plus the WAL.
+        from repro.stream.durability import save_checkpoint
+
+        save_checkpoint(service, checkpoint_path)
+
+    from repro.stream.durability import state_fingerprint
 
     scored = [w for w in windows if np.isfinite(w.median_relative_error)]
     first = scored[0] if scored else None
     last = scored[-1] if scored else None
+    defense = service.defense_stats()
     totals = {
         "events": trace.n_events,
         "windows": len(windows),
         "final_active_nodes": service.n_active,
         "observed_edges": service.n_observed_edges,
         "dropped_measurements": service.dropped_measurements,
+        "rejected_measurements": defense["rejected_measurements"],
+        "quarantined_nodes": defense["quarantined_nodes"],
+        "ever_quarantined_nodes": defense["ever_quarantined_nodes"],
+        "late_dropped_events": defense["late_dropped_events"],
         "first_window_median_relative_error": (
             first.median_relative_error if first else float("nan")
         ),
@@ -249,7 +368,12 @@ def replay_trace(
             and last.median_relative_error < first.median_relative_error
         ),
         "final_mean_staleness": service.staleness()["mean"],
+        "state_fingerprint": state_fingerprint(service),
     }
+    if resume:
+        totals["resumed_at_event"] = int(skip)
+    if stopped:
+        totals["stopped_after_events"] = int(applied)
 
     queries: dict = {"closest": [], "tiv_alerts": []}
     for node in service.active_nodes()[: int(query_nodes)]:
@@ -276,4 +400,5 @@ def replay_trace(
         windows=tuple(windows),
         totals=totals,
         queries=queries,
+        defense=defense,
     )

@@ -22,12 +22,97 @@ event, converging to the offline metric on a static matrix.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
 
 from repro.coords.online import OnlineVivaldi, OnlineVivaldiConfig
 from repro.errors import StreamError
 from repro.stats.rng import RngLike, ensure_rng
 from repro.stream.events import Event, MeasurementEvent, NodeJoin, NodeLeave
+
+
+@dataclass(frozen=True)
+class DefenseConfig:
+    """Parameters of the measurement-defense layer.
+
+    The defense has two cooperating parts, modelled on what production
+    coordinate systems ("Network Coordinates in the Wild") deploy against
+    hostile or broken measurement feeds:
+
+    * An **adaptive residual gate**: once the system is warm, a
+      measurement whose relative residual (``|predicted - observed| /
+      observed``) is a large multiple of the EWMA of recently *accepted*
+      residuals is rejected before it can move the embedding.
+    * A **reputation/quarantine ledger**: every gate decision updates the
+      reporting node's suspicion EWMA (rejections charge it, acceptances
+      decay it).  A node whose suspicion crosses ``quarantine_threshold``
+      is quarantined — its reports are dropped outright — until probation
+      samples (every ``probation_interval``-th report is re-gated) decay
+      its suspicion below ``release_threshold``.  The ledger survives
+      leave/rejoin, so a liar cannot launder its reputation by flapping.
+
+    Attributes
+    ----------
+    warmup_observations:
+        Accepted measurements before the gate arms (the embedding must
+        localise before residuals mean anything).
+    node_warmup_updates:
+        Per-endpoint coordinate updates below which the gate is skipped
+        for a measurement — fresh joiners legitimately produce huge
+        residuals while re-localising.
+    gate_multiplier:
+        A measurement is rejected when its relative residual exceeds
+        ``gate_multiplier * max(residual EWMA, gate_floor)``.
+    gate_floor:
+        Lower bound of the adaptive threshold base, so a near-perfect
+        embedding does not start rejecting ordinary noise.
+    residual_alpha:
+        EWMA weight of each accepted residual.
+    suspicion_alpha:
+        EWMA weight of each gate decision in the reporter's suspicion.
+    quarantine_threshold / release_threshold:
+        Hysteresis bounds: suspicion above the first quarantines the
+        node, decay below the second releases it.
+    probation_interval:
+        While quarantined, every N-th report is re-gated instead of
+        dropped, giving a falsely accused node a path back in.
+    drop_late_events:
+        Accept out-of-order streams by dropping events that arrive
+        behind the service clock (counted, never applied) instead of
+        raising — the survival posture for clock-skewed feeds.
+    """
+
+    warmup_observations: int = 256
+    node_warmup_updates: int = 16
+    gate_multiplier: float = 4.0
+    gate_floor: float = 0.1
+    residual_alpha: float = 0.05
+    suspicion_alpha: float = 0.1
+    quarantine_threshold: float = 0.6
+    release_threshold: float = 0.25
+    probation_interval: int = 8
+    drop_late_events: bool = True
+
+    def __post_init__(self) -> None:
+        if self.warmup_observations < 0:
+            raise StreamError("warmup_observations must be >= 0")
+        if self.node_warmup_updates < 0:
+            raise StreamError("node_warmup_updates must be >= 0")
+        if self.gate_multiplier <= 1:
+            raise StreamError("gate_multiplier must be > 1")
+        if self.gate_floor <= 0:
+            raise StreamError("gate_floor must be > 0")
+        if not 0 < self.residual_alpha <= 1:
+            raise StreamError("residual_alpha must lie in (0, 1]")
+        if not 0 < self.suspicion_alpha <= 1:
+            raise StreamError("suspicion_alpha must lie in (0, 1]")
+        if not 0 < self.release_threshold < self.quarantine_threshold < 1:
+            raise StreamError(
+                "thresholds must satisfy 0 < release < quarantine < 1"
+            )
+        if self.probation_interval < 1:
+            raise StreamError("probation_interval must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -49,12 +134,17 @@ class StreamServiceConfig:
     severity_alpha:
         EWMA weight of a new severity sample against the running
         estimate.
+    defense:
+        Optional measurement-defense layer (``None`` — the default —
+        trusts every event, preserving the pre-defense trajectories the
+        golden stream snapshots pin).
     """
 
     online: OnlineVivaldiConfig = field(default_factory=OnlineVivaldiConfig)
     alert_threshold: float = 0.5
     severity_witnesses: int = 8
     severity_alpha: float = 0.3
+    defense: DefenseConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.alert_threshold < 1:
@@ -63,6 +153,21 @@ class StreamServiceConfig:
             raise StreamError("severity_witnesses must be >= 1")
         if not 0 < self.severity_alpha <= 1:
             raise StreamError("severity_alpha must lie in (0, 1]")
+
+    def as_dict(self) -> dict:
+        """JSON-safe form, round-tripped by :meth:`from_dict`."""
+        payload = asdict(self)
+        payload["defense"] = asdict(self.defense) if self.defense is not None else None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamServiceConfig":
+        payload = dict(payload)
+        online = OnlineVivaldiConfig(**payload.pop("online"))
+        defense = payload.pop("defense", None)
+        if defense is not None:
+            defense = DefenseConfig(**defense)
+        return cls(online=online, defense=defense, **payload)
 
 
 def _edge(a: int, b: int) -> tuple[int, int]:
@@ -90,6 +195,18 @@ class StreamCoordinateService:
         self._clock = 0.0
         self._events = 0
         self._dropped = 0
+        # Defense state (inert while config.defense is None).  The
+        # suspicion ledger is keyed by node id and deliberately survives
+        # leave/rejoin — reputation cannot be laundered by flapping.
+        self._residual_ewma: float | None = None
+        self._gate_accepted = 0
+        self._rejected = 0
+        self._quarantine_drops = 0
+        self._late_dropped = 0
+        self._suspicion: dict[int, float] = {}
+        self._quarantined: set[int] = set()
+        self._probation: dict[int, int] = {}
+        self._ever_quarantined: set[int] = set()
 
     # -- state accessors ------------------------------------------------------
 
@@ -130,6 +247,38 @@ class StreamCoordinateService:
         measurement feed, so the service counts every drop.
         """
         return self._dropped
+
+    @property
+    def rejected_measurements(self) -> int:
+        """Measurements refused by the defense (gate + quarantine drops)."""
+        return self._rejected + self._quarantine_drops
+
+    @property
+    def late_dropped_events(self) -> int:
+        """Out-of-order events dropped under ``defense.drop_late_events``."""
+        return self._late_dropped
+
+    def quarantined_nodes(self) -> list[int]:
+        """Currently quarantined node ids, sorted."""
+        return sorted(self._quarantined)
+
+    def suspicion_of(self, node: int) -> float:
+        """Current suspicion EWMA of ``node`` (0 if never charged)."""
+        return self._suspicion.get(node, 0.0)
+
+    def defense_stats(self) -> dict:
+        """Summary of the defense ledger (all-zero when defense is off)."""
+        return {
+            "gate_rejected": self._rejected,
+            "quarantine_drops": self._quarantine_drops,
+            "late_dropped_events": self._late_dropped,
+            "rejected_measurements": self.rejected_measurements,
+            "quarantined_nodes": len(self._quarantined),
+            "ever_quarantined_nodes": len(self._ever_quarantined),
+            "quarantined": sorted(self._quarantined),
+            "ever_quarantined": sorted(self._ever_quarantined),
+            "residual_ewma": self._residual_ewma,
+        }
 
     def active_nodes(self) -> list[int]:
         return self._embedding.active_nodes()
@@ -186,13 +335,33 @@ class StreamCoordinateService:
             self._peers[peer].discard(node)
 
     def observe(self, src: int, dst: int, rtt: float, t: float = 0.0) -> None:
-        """Apply one measurement: update coordinates, memory and severity."""
+        """Apply one measurement: update coordinates, memory and severity.
+
+        With a defense configured, the measurement first passes the
+        quarantine check and the adaptive residual gate; a rejected
+        measurement still advances the clock and the event counter (so
+        WAL replay stays aligned) but never touches the embedding or the
+        edge memory.
+        """
+        defense = self._config.defense
+        if (
+            defense is not None
+            and defense.drop_late_events
+            and t < self._clock
+        ):
+            # Clock-skewed arrival: drop rather than raise, but keep the
+            # event counter moving so recovery replays stay aligned.
+            self._events += 1
+            self._late_dropped += 1
+            return
         self._advance(t)
         if not self._embedding.is_active(src) or not self._embedding.is_active(dst):
             missing = src if not self._embedding.is_active(src) else dst
             raise StreamError(
                 f"measurement {src}->{dst} references inactive node {missing}"
             )
+        if defense is not None and not self._admit(defense, src, dst, rtt):
+            return
         self._embedding.observe(src, dst, rtt, t)
         if not (math.isfinite(rtt) and rtt > 0):
             # The embedding no-oped on this RTT and the edge would carry
@@ -203,6 +372,85 @@ class StreamCoordinateService:
         self._peers[src].add(dst)
         self._peers[dst].add(src)
         self._update_severity(src, dst, float(rtt))
+
+    # -- the measurement defense ----------------------------------------------
+
+    def _admit(self, defense: DefenseConfig, src: int, dst: int, rtt: float) -> bool:
+        """Quarantine check + adaptive residual gate for one measurement."""
+        if src in self._quarantined:
+            self._probation[src] = self._probation.get(src, 0) + 1
+            if self._probation[src] % defense.probation_interval:
+                self._quarantine_drops += 1
+                return False
+            # Probation sample: falls through to the gate below; an
+            # acceptance decays suspicion toward release.
+        if not (math.isfinite(rtt) and rtt > 0):
+            return True  # the unusable-RTT drop path counts these itself
+        gate_armed = (
+            self._gate_accepted >= defense.warmup_observations
+            and self._embedding.update_count_of(src) >= defense.node_warmup_updates
+            and self._embedding.update_count_of(dst) >= defense.node_warmup_updates
+        )
+        if not gate_armed:
+            # Warmup traffic is admitted untested and (unlike post-warmup
+            # skips) does not feed the residual EWMA: fresh-node residuals
+            # are legitimately enormous and would inflate the threshold.
+            self._gate_accepted += 1
+            return True
+        predicted = self._embedding.distance(src, dst)
+        # Normalise by the *smaller* of prediction and report (floored at
+        # 1 ms): dividing by the reported RTT alone would cap an inflated
+        # lie at a relative residual of (k-1)/k no matter how large the
+        # inflation factor k is, hiding arbitrarily big lies just above
+        # the gate threshold.
+        residual = abs(predicted - rtt) / max(min(predicted, rtt), 1.0)
+        base = self._residual_ewma if self._residual_ewma is not None else defense.gate_floor
+        threshold = defense.gate_multiplier * max(base, defense.gate_floor)
+        if residual > threshold:
+            self._rejected += 1
+            # Attribute the rejection to *both* endpoints unless one is
+            # already quarantined and thus explains it alone.  Charging the
+            # probed endpoint matters: a liar whose inflated self-reports
+            # were embedded during warmup looks self-consistent on its own
+            # edges, and the honest probes *toward* its bogus coordinate
+            # are where the disagreement (and hence the charge) surfaces.
+            # Innocent nodes shed their occasional liar-adjacent charges
+            # through absolution on their accepted traffic.
+            if src in self._quarantined:
+                self._charge(defense, src)
+            elif dst in self._quarantined:
+                pass  # the known-bad endpoint already explains the miss
+            else:
+                self._charge(defense, src)
+                self._charge(defense, dst)
+            return False
+        self._gate_accepted += 1
+        if self._residual_ewma is None:
+            self._residual_ewma = residual
+        else:
+            self._residual_ewma = (
+                defense.residual_alpha * residual
+                + (1.0 - defense.residual_alpha) * self._residual_ewma
+            )
+        self._absolve(defense, src)
+        self._absolve(defense, dst)
+        return True
+
+    def _charge(self, defense: DefenseConfig, node: int) -> None:
+        alpha = defense.suspicion_alpha
+        suspicion = alpha + (1.0 - alpha) * self._suspicion.get(node, 0.0)
+        self._suspicion[node] = suspicion
+        if suspicion > defense.quarantine_threshold and node not in self._quarantined:
+            self._quarantined.add(node)
+            self._ever_quarantined.add(node)
+            self._probation[node] = 0
+
+    def _absolve(self, defense: DefenseConfig, node: int) -> None:
+        suspicion = (1.0 - defense.suspicion_alpha) * self._suspicion.get(node, 0.0)
+        self._suspicion[node] = suspicion
+        if node in self._quarantined and suspicion < defense.release_threshold:
+            self._quarantined.discard(node)
+            self._probation.pop(node, None)
 
     def _update_severity(self, src: int, dst: int, rtt: float) -> None:
         """Fold one witness sample into the edge's rolling severity."""
@@ -343,3 +591,84 @@ class StreamCoordinateService:
             "mean": float(sum(values) / len(values)),
             "max": float(max(values)),
         }
+
+    # -- durable state ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything future behaviour depends on, in JSON/array-safe form.
+
+        Captures the embedding's full-capacity state, the edge memory and
+        severity EWMAs, the defense ledger and the *shared* RNG stream
+        (the service and its embedding draw from one generator, so its
+        bit-generator state appears here exactly once).  Restoring via
+        :meth:`from_state` and continuing a replay is bit-identical to
+        never having stopped — the guarantee
+        :func:`repro.stream.durability.recover` and the recovery property
+        tests pin.
+        """
+        return {
+            "config": self._config.as_dict(),
+            "embedding": self._embedding.state_dict(),
+            "rng_state": self._rng.bit_generator.state,
+            "edge_rtt": [
+                [int(a), int(b), float(rtt), float(at)]
+                for (a, b), (rtt, at) in self._edge_rtt.items()
+            ],
+            "peers": {int(node): sorted(peers) for node, peers in self._peers.items()},
+            "severity": [
+                [int(a), int(b), float(value)]
+                for (a, b), value in self._severity.items()
+            ],
+            "clock": float(self._clock),
+            "events": int(self._events),
+            "dropped": int(self._dropped),
+            "residual_ewma": self._residual_ewma,
+            "gate_accepted": int(self._gate_accepted),
+            "rejected": int(self._rejected),
+            "quarantine_drops": int(self._quarantine_drops),
+            "late_dropped": int(self._late_dropped),
+            "suspicion": {int(node): float(s) for node, s in self._suspicion.items()},
+            "quarantined": sorted(self._quarantined),
+            "probation": {int(node): int(c) for node, c in self._probation.items()},
+            "ever_quarantined": sorted(self._ever_quarantined),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamCoordinateService":
+        """Rebuild a service whose behaviour bit-matches the captured one."""
+        config = StreamServiceConfig.from_dict(state["config"])
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        service = cls(config, rng=rng)
+        service._embedding = OnlineVivaldi.from_state(
+            state["embedding"], config.online, rng=rng
+        )
+        service._edge_rtt = {
+            _edge(int(a), int(b)): (float(rtt), float(at))
+            for a, b, rtt, at in state["edge_rtt"]
+        }
+        service._peers = {
+            int(node): {int(p) for p in peers}
+            for node, peers in state["peers"].items()
+        }
+        service._severity = {
+            _edge(int(a), int(b)): float(value) for a, b, value in state["severity"]
+        }
+        service._clock = float(state["clock"])
+        service._events = int(state["events"])
+        service._dropped = int(state["dropped"])
+        ewma = state["residual_ewma"]
+        service._residual_ewma = float(ewma) if ewma is not None else None
+        service._gate_accepted = int(state["gate_accepted"])
+        service._rejected = int(state["rejected"])
+        service._quarantine_drops = int(state["quarantine_drops"])
+        service._late_dropped = int(state["late_dropped"])
+        service._suspicion = {
+            int(node): float(s) for node, s in state["suspicion"].items()
+        }
+        service._quarantined = {int(node) for node in state["quarantined"]}
+        service._probation = {
+            int(node): int(c) for node, c in state["probation"].items()
+        }
+        service._ever_quarantined = {int(node) for node in state["ever_quarantined"]}
+        return service

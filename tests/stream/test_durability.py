@@ -1,0 +1,275 @@
+"""Checkpoint + WAL durability: round-trips, corruption, bit-identical recovery."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StreamError
+from repro.stream import (
+    DefenseConfig,
+    MeasurementEvent,
+    NodeJoin,
+    NodeLeave,
+    StreamServiceConfig,
+    WalWriter,
+    load_checkpoint,
+    read_wal,
+    recover,
+    replay_trace,
+    save_checkpoint,
+    state_fingerprint,
+    synthesize_trace,
+)
+from repro.stream.durability import CHECKPOINT_SCHEMA
+from repro.stream.service import StreamCoordinateService
+
+DEFENDED = StreamServiceConfig(defense=DefenseConfig())
+
+
+def _busy_service(n_events=300):
+    trace = synthesize_trace(n_nodes=16, seed=2, duration=30.0, churn=0.2)
+    service = StreamCoordinateService(config=DEFENDED, rng=4)
+    for event in trace.events[:n_events]:
+        service.apply(event)
+    return service
+
+
+class TestCheckpointRoundTrip:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        service = _busy_service()
+        path = tmp_path / "ck.npz"
+        save_checkpoint(service, path)
+        restored = load_checkpoint(path)
+        assert state_fingerprint(restored) == state_fingerprint(service)
+        assert restored.n_events == service.n_events
+        assert restored.clock == service.clock
+
+    def test_restored_service_evolves_identically(self, tmp_path):
+        trace = synthesize_trace(n_nodes=16, seed=2, duration=30.0, churn=0.2)
+        service = StreamCoordinateService(config=DEFENDED, rng=4)
+        for event in trace.events[:200]:
+            service.apply(event)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(service, path)
+        restored = load_checkpoint(path)
+        for event in trace.events[200:260]:
+            service.apply(event)
+            restored.apply(event)
+        assert state_fingerprint(restored) == state_fingerprint(service)
+
+    def test_missing_file_raises_named_stream_error(self, tmp_path):
+        with pytest.raises(StreamError, match="nope.npz"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupted_file_raises(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(_busy_service(50), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StreamError):
+            load_checkpoint(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        service = _busy_service(50)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(service, path)
+        import numpy as np
+
+        with np.load(path, allow_pickle=False) as payload:
+            members = {key: payload[key] for key in payload.files}
+        state = json.loads(bytes(members["state"]).decode("utf-8"))
+        state["schema"] = "other-thing/v9"
+        members["state"] = np.frombuffer(
+            json.dumps(state).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(path, **members)
+        with pytest.raises(StreamError, match="schema"):
+            load_checkpoint(path)
+
+    def test_schema_tag_present(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "ck.npz"
+        save_checkpoint(_busy_service(50), path)
+        with np.load(path, allow_pickle=False) as payload:
+            state = json.loads(bytes(payload["state"]).decode("utf-8"))
+        assert state["schema"] == CHECKPOINT_SCHEMA
+
+
+class TestWal:
+    EVENTS = [
+        NodeJoin(0.0, 1),
+        NodeJoin(0.5, 2),
+        MeasurementEvent(1.0, 1, 2, 20.0),
+        NodeLeave(2.0, 2),
+    ]
+
+    def test_log_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            for seq, event in enumerate(self.EVENTS):
+                wal.log(seq, event)
+        entries = read_wal(path)
+        assert [seq for seq, _ in entries] == [0, 1, 2, 3]
+        assert [event for _, event in entries] == self.EVENTS
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            for seq, event in enumerate(self.EVENTS):
+                wal.log(seq, event)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) - 10], encoding="utf-8")
+        entries = read_wal(path)
+        assert [seq for seq, _ in entries] == [0, 1, 2]
+
+    def test_mid_file_corruption_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            for seq, event in enumerate(self.EVENTS):
+                wal.log(seq, event)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "{not json"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(StreamError, match="line 2"):
+            read_wal(path)
+
+    def test_sequence_gap_detected(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            wal.log(0, self.EVENTS[0])
+            wal.log(1, self.EVENTS[1])
+            wal.log(5, self.EVENTS[2])
+        with pytest.raises(StreamError, match="gap"):
+            read_wal(path)
+
+    def test_append_mode_continues_the_log(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        with WalWriter(path) as wal:
+            wal.log(0, self.EVENTS[0])
+        with WalWriter(path, append=True) as wal:
+            wal.log(1, self.EVENTS[1])
+        assert [seq for seq, _ in read_wal(path)] == [0, 1]
+
+
+class TestRecovery:
+    def test_recover_checkpoint_plus_wal_suffix(self, tmp_path):
+        trace = synthesize_trace(n_nodes=16, seed=2, duration=30.0, churn=0.2)
+        ck = tmp_path / "ck.npz"
+        wal = tmp_path / "wal.jsonl"
+        crashed = replay_trace(
+            trace,
+            config=DEFENDED,
+            checkpoint_path=ck,
+            wal_path=wal,
+            checkpoint_every=100,
+            stop_after_events=250,
+        )
+        assert crashed.totals["stopped_after_events"] == 250
+        recovered = recover(ck, wal)
+        # The WAL replays the suffix past the last periodic checkpoint.
+        assert recovered.n_events == 250
+        direct = StreamCoordinateService(config=DEFENDED, rng=0)
+        for event in trace.events[:250]:
+            direct.apply(event)
+        assert state_fingerprint(recovered) == state_fingerprint(direct)
+
+    def test_wal_gap_after_checkpoint_refused(self, tmp_path):
+        trace = synthesize_trace(n_nodes=16, seed=2, duration=30.0)
+        ck = tmp_path / "ck.npz"
+        wal = tmp_path / "wal.jsonl"
+        replay_trace(
+            trace,
+            config=DEFENDED,
+            checkpoint_path=ck,
+            wal_path=wal,
+            checkpoint_every=100,
+            stop_after_events=150,
+        )
+        # Drop WAL entries right after the checkpoint's cut: recovery must
+        # refuse to silently skip events.
+        entries = [
+            json.loads(line)
+            for line in wal.read_text(encoding="utf-8").splitlines()
+        ]
+        kept = [e for e in entries if e["seq"] < 100 or e["seq"] >= 120]
+        wal.write_text(
+            "".join(json.dumps(e) + "\n" for e in kept), encoding="utf-8"
+        )
+        with pytest.raises(StreamError):
+            recover(ck, wal)
+
+    def test_resumed_replay_matches_uninterrupted(self, tmp_path):
+        trace = synthesize_trace(n_nodes=24, seed=5, duration=30.0, churn=0.2)
+        uninterrupted = replay_trace(trace, config=DEFENDED)
+        ck = tmp_path / "ck.npz"
+        wal = tmp_path / "wal.jsonl"
+        replay_trace(
+            trace,
+            config=DEFENDED,
+            checkpoint_path=ck,
+            wal_path=wal,
+            checkpoint_every=100,
+            stop_after_events=333,
+        )
+        resumed = replay_trace(
+            trace,
+            config=DEFENDED,
+            checkpoint_path=ck,
+            wal_path=wal,
+            resume=True,
+        )
+        assert resumed.totals["resumed_at_event"] == 333
+        assert (
+            resumed.totals["state_fingerprint"]
+            == uninterrupted.totals["state_fingerprint"]
+        )
+        # Post-cut windows carry identical live metrics.
+        assert (
+            resumed.windows[-1].median_relative_error
+            == uninterrupted.windows[-1].median_relative_error
+        )
+
+    def test_resume_without_checkpoint_rejected(self):
+        trace = synthesize_trace(n_nodes=16, seed=2, duration=10.0)
+        with pytest.raises(StreamError, match="resume"):
+            replay_trace(trace, config=DEFENDED, resume=True)
+
+
+class TestCutPointProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        churn=st.sampled_from([0.0, 0.2]),
+        cut_fraction=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_any_cut_point_recovers_bit_identically(
+        self, tmp_path_factory, seed, churn, cut_fraction
+    ):
+        """Crash at *any* event index: checkpoint+WAL recovery must land on
+        exactly the state an uninterrupted run reaches at that index."""
+        tmp_path = tmp_path_factory.mktemp("cut")
+        trace = synthesize_trace(
+            n_nodes=16, seed=seed, duration=20.0, churn=churn
+        )
+        cut = max(1, int(trace.n_events * cut_fraction))
+        ck = tmp_path / "ck.npz"
+        wal = tmp_path / "wal.jsonl"
+        replay_trace(
+            trace,
+            config=DEFENDED,
+            checkpoint_path=ck,
+            wal_path=wal,
+            # Small enough that even the earliest cut point has at least
+            # one periodic checkpoint behind it (a simulated crash never
+            # writes a graceful final one).
+            checkpoint_every=16,
+            stop_after_events=cut,
+        )
+        recovered = recover(ck, wal)
+        direct = StreamCoordinateService(config=DEFENDED, rng=0)
+        for event in trace.events[:cut]:
+            direct.apply(event)
+        assert state_fingerprint(recovered) == state_fingerprint(direct)

@@ -150,3 +150,68 @@ class TestSynthesis:
     def test_invalid_parameters_rejected(self, kwargs):
         with pytest.raises(StreamError):
             synthesize_trace(**kwargs)
+
+
+class TestDamagedTraceFiles:
+    """Every damaged-file failure mode surfaces as a StreamError naming
+    the path — never a raw zipfile/numpy/KeyError traceback."""
+
+    def _good_path(self, tmp_path):
+        trace = synthesize_trace(n_nodes=12, seed=5, duration=8.0, churn=0.3)
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        return path
+
+    def test_truncated_archive(self, tmp_path):
+        path = self._good_path(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])
+        with pytest.raises(StreamError, match="truncated or corrupted") as excinfo:
+            load_trace(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(StreamError, match="truncated or corrupted"):
+            load_trace(path)
+
+    def test_missing_member_named(self, tmp_path):
+        path = self._good_path(tmp_path)
+        with np.load(path) as data:
+            members = {k: data[k] for k in data.files if k != "rtt"}
+        np.savez_compressed(path, **members)
+        with pytest.raises(StreamError, match="missing"):
+            load_trace(path)
+
+    def test_undecodable_meta_blob(self, tmp_path):
+        path = self._good_path(tmp_path)
+        with np.load(path) as data:
+            members = {k: data[k] for k in data.files}
+        members["meta"] = np.frombuffer(b"{broken json", dtype=np.uint8)
+        np.savez_compressed(path, **members)
+        with pytest.raises(StreamError, match="truncated or corrupted"):
+            load_trace(path)
+
+    def test_inconsistent_arrays_rejected(self, tmp_path):
+        path = self._good_path(tmp_path)
+        with np.load(path) as data:
+            members = {k: data[k] for k in data.files}
+        members["t"] = members["t"][:-2]  # shorter than kind/a/b/rtt
+        np.savez_compressed(path, **members)
+        with pytest.raises(StreamError):
+            load_trace(path)
+
+    def test_unordered_flag_round_trips(self, tmp_path):
+        from repro.stream import FaultSpec, apply_faults
+
+        trace = synthesize_trace(n_nodes=12, seed=5, duration=8.0)
+        skewed = apply_faults(
+            trace, FaultSpec(skew_fraction=0.5, max_skew_seconds=3.0, seed=1)
+        )
+        assert not skewed.ordered
+        path = tmp_path / "skewed.npz"
+        save_trace(skewed, path)
+        loaded = load_trace(path)
+        assert not loaded.ordered
+        assert loaded.out_of_order_count == skewed.out_of_order_count

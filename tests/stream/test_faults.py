@@ -1,0 +1,147 @@
+"""Tests for the declarative, seed-deterministic fault injector."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.stream import FaultSpec, MeasurementEvent, apply_faults, synthesize_trace
+
+
+def _measurements(trace):
+    return [e for e in trace.events if isinstance(e, MeasurementEvent)]
+
+
+@pytest.fixture(scope="module")
+def clean_trace():
+    return synthesize_trace(n_nodes=24, seed=1, duration=30.0, churn=0.1)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(liar_fraction=-0.1),
+            dict(liar_fraction=1.5),
+            dict(liar_inflation=0.0),
+            dict(spike_fraction=2.0),
+            dict(spike_multiplier=0.5),
+            dict(skew_fraction=-1.0),
+            dict(max_skew_seconds=-1.0),
+            dict(duplicate_fraction=1.1),
+            dict(flap_count=-1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(StreamError):
+            FaultSpec(**kwargs)
+
+    def test_parse_round_trip(self):
+        spec = FaultSpec.parse("liars=0.1, spikes=0.05, flaps=2, seed=7")
+        assert spec.liar_fraction == 0.1
+        assert spec.spike_fraction == 0.05
+        assert spec.flap_count == 2
+        assert spec.seed == 7
+
+    @pytest.mark.parametrize("text", ["liars", "liars=x", "teleport=1"])
+    def test_parse_rejects_bad_tokens(self, text):
+        with pytest.raises(StreamError):
+            FaultSpec.parse(text)
+
+    def test_noop_spec(self, clean_trace):
+        spec = FaultSpec()
+        assert spec.is_noop
+        assert apply_faults(clean_trace, spec) is clean_trace
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self, clean_trace):
+        spec = FaultSpec(liar_fraction=0.2, spike_fraction=0.1, seed=3)
+        a = apply_faults(clean_trace, spec)
+        b = apply_faults(clean_trace, spec)
+        assert a.meta["fault_liars"] == b.meta["fault_liars"]
+        assert [
+            (e.t, getattr(e, "src", None), getattr(e, "rtt", None)) for e in a.events
+        ] == [(e.t, getattr(e, "src", None), getattr(e, "rtt", None)) for e in b.events]
+
+    def test_different_seed_different_faults(self, clean_trace):
+        base = FaultSpec(liar_fraction=0.2, seed=3)
+        a = apply_faults(clean_trace, base)
+        b = apply_faults(clean_trace, dataclasses.replace(base, seed=4))
+        assert a.meta["fault_liars"] != b.meta["fault_liars"]
+
+
+class TestFaultKinds:
+    def test_liars_inflate_their_reports(self, clean_trace):
+        spec = FaultSpec(liar_fraction=0.25, liar_inflation=5.0, seed=2)
+        faulted = apply_faults(clean_trace, spec)
+        liars = set(faulted.meta["fault_liars"])
+        assert liars
+        clean_by_key = {
+            (e.t, e.src, e.dst): e.rtt for e in _measurements(clean_trace)
+        }
+        for event in _measurements(faulted):
+            clean_rtt = clean_by_key[(event.t, event.src, event.dst)]
+            if event.src in liars:
+                assert event.rtt == pytest.approx(clean_rtt * 5.0)
+            else:
+                assert event.rtt == pytest.approx(clean_rtt)
+
+    def test_spikes_multiply_a_fraction_of_honest_reports(self, clean_trace):
+        spec = FaultSpec(spike_fraction=0.1, spike_multiplier=10.0, seed=2)
+        faulted = apply_faults(clean_trace, spec)
+        clean_rtts = [e.rtt for e in _measurements(clean_trace)]
+        faulted_rtts = [e.rtt for e in _measurements(faulted)]
+        spiked = sum(
+            1
+            for before, after in zip(clean_rtts, faulted_rtts)
+            if after == pytest.approx(before * 10.0)
+        )
+        assert 0 < spiked <= int(len(clean_rtts) * 0.1) + 1
+
+    def test_duplicates_add_measurements(self, clean_trace):
+        spec = FaultSpec(duplicate_fraction=0.2, seed=2)
+        faulted = apply_faults(clean_trace, spec)
+        n_clean = len(_measurements(clean_trace))
+        n_faulted = len(_measurements(faulted))
+        assert n_faulted > n_clean
+        assert n_faulted <= n_clean + int(n_clean * 0.2) + 1
+
+    def test_flaps_add_leave_join_pairs(self, clean_trace):
+        spec = FaultSpec(flap_count=3, seed=2)
+        faulted = apply_faults(clean_trace, spec)
+        clean_counts = clean_trace.counts()
+        counts = faulted.counts()
+        assert counts["leaves"] == clean_counts["leaves"] + 3
+        assert counts["joins"] == clean_counts["joins"] + 3
+
+    def test_skew_marks_trace_unordered(self, clean_trace):
+        spec = FaultSpec(skew_fraction=0.3, max_skew_seconds=5.0, seed=2)
+        faulted = apply_faults(clean_trace, spec)
+        assert not faulted.ordered
+        assert faulted.out_of_order_count > 0
+        # Clean trace stays ordered.
+        assert clean_trace.ordered
+        assert clean_trace.out_of_order_count == 0
+
+    def test_meta_records_the_spec(self, clean_trace):
+        spec = FaultSpec(liar_fraction=0.1, seed=5)
+        faulted = apply_faults(clean_trace, spec)
+        assert faulted.meta["faults"]["liar_fraction"] == 0.1
+        assert faulted.meta["faults"]["seed"] == 5
+
+    def test_ground_truth_untouched(self, clean_trace):
+        spec = FaultSpec(liar_fraction=0.5, spike_fraction=0.5, seed=2)
+        faulted = apply_faults(clean_trace, spec)
+        assert np.array_equal(
+            faulted.ground_truth, clean_trace.ground_truth, equal_nan=True
+        )
+
+
+class TestSynthesizeIntegration:
+    def test_synthesize_trace_applies_faults(self):
+        spec = FaultSpec(liar_fraction=0.1, seed=1)
+        faulted = synthesize_trace(n_nodes=24, seed=1, duration=20.0, faults=spec)
+        assert "faults" in faulted.meta
+        assert faulted.meta["fault_liars"]

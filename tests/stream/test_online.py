@@ -262,3 +262,98 @@ class TestQueries:
         snap["coordinates"][:] = 0.0
         assert np.linalg.norm(emb.coordinate_of(1)) > 0
         assert snap["nodes"] == [1, 2]
+
+
+class TestSlotLifecycleUnderMassChurn:
+    """The slot allocator under flapping populations: capacity tracks the
+    *concurrent* peak, freed slots are recycled deterministically, and
+    surviving nodes' state is never disturbed by other nodes' churn."""
+
+    def test_mass_leave_join_cycles_bound_capacity(self):
+        embedding = OnlineVivaldi(rng=0, capacity=4)
+        rng = np.random.default_rng(0)
+        for cycle in range(20):
+            cohort = [f"n{cycle}-{i}" for i in range(8)]
+            for node in cohort:
+                embedding.join(node, t=float(cycle))
+            for a in cohort:
+                for b in cohort:
+                    if a != b:
+                        embedding.observe(a, b, float(rng.uniform(5, 50)), t=float(cycle))
+            for node in cohort:
+                embedding.leave(node)
+        assert embedding.n_active == 0
+        # 8 concurrent nodes ever: the arrays never grew past that peak
+        # (growth doubles, so the bound is the next power of two of 8).
+        assert embedding._coords.shape[0] <= 16
+
+    def test_survivor_state_untouched_by_neighbors_churn(self):
+        embedding = OnlineVivaldi(rng=0, capacity=4)
+        embedding.join("keeper", t=0.0)
+        embedding.join("aux", t=0.0)
+        for i in range(30):
+            embedding.observe("keeper", "aux", 20.0, t=float(i))
+            embedding.observe("aux", "keeper", 20.0, t=float(i))
+        coord = embedding.coordinate_of("keeper").copy()
+        height = embedding.height_of("keeper")
+        error = embedding.error_of("keeper")
+        for cycle in range(10):
+            node = f"flap{cycle}"
+            embedding.join(node, t=50.0 + cycle)
+            embedding.leave(node)
+        assert np.array_equal(embedding.coordinate_of("keeper"), coord)
+        assert embedding.height_of("keeper") == height
+        assert embedding.error_of("keeper") == error
+
+    def test_active_nodes_correct_after_interleaved_churn(self):
+        embedding = OnlineVivaldi(rng=0, capacity=2)
+        alive = set()
+        rng = np.random.default_rng(3)
+        for step in range(200):
+            if alive and rng.uniform() < 0.4:
+                node = sorted(alive)[int(rng.integers(len(alive)))]
+                embedding.leave(node)
+                alive.discard(node)
+            else:
+                node = int(rng.integers(1000))
+                if node not in alive:
+                    embedding.join(node, t=float(step))
+                    alive.add(node)
+        assert embedding.n_active == len(alive)
+        assert embedding.active_nodes() == sorted(alive)
+        for node in alive:
+            assert embedding.is_active(node)
+
+    def test_state_round_trip_preserves_churned_slot_map(self):
+        embedding = OnlineVivaldi(rng=0, capacity=2)
+        rng = np.random.default_rng(5)
+        for i in range(12):
+            embedding.join(i, t=float(i))
+        for i in range(0, 12, 3):
+            embedding.leave(i)
+        for _ in range(50):
+            a, b = rng.choice(embedding.active_nodes(), size=2, replace=False)
+            embedding.observe(int(a), int(b), float(rng.uniform(5, 50)))
+        state = embedding.state_dict()
+        restored = OnlineVivaldi.from_state(
+            state, embedding.config, rng=np.random.default_rng(9)
+        )
+        assert restored.active_nodes() == embedding.active_nodes()
+        assert restored._slots == embedding._slots
+        assert restored._free == embedding._free
+        for node in embedding.active_nodes():
+            assert np.array_equal(
+                restored.coordinate_of(node), embedding.coordinate_of(node)
+            )
+            assert restored.update_count_of(node) == embedding.update_count_of(node)
+
+    def test_rejoin_after_mass_leave_reuses_most_recent_slot(self):
+        embedding = OnlineVivaldi(rng=0, capacity=4)
+        for i in range(4):
+            embedding.join(i)
+        slots = dict(embedding._slots)
+        for i in range(4):
+            embedding.leave(i)
+        # LIFO reuse: the last freed slot is handed to the next join.
+        embedding.join("fresh")
+        assert embedding._slots["fresh"] == slots[3]

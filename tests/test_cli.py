@@ -359,6 +359,87 @@ class TestStreamCommands:
         assert code == 1
         assert "not found" in err
 
+    def test_make_trace_with_faults_summarises_the_spec(self, capsys, tmp_path):
+        _, out = self.make_trace(capsys, tmp_path, "--faults", "liars=0.2,seed=1")
+        assert "faults: liars=0.2" in out
+
+    def test_make_trace_rejects_bad_fault_spec(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "make-trace",
+            "-o",
+            str(tmp_path / "t.npz"),
+            "--faults",
+            "teleport=1",
+        )
+        assert code == 1
+        assert "teleport" in err
+
+    def test_stream_kill_and_resume_matches_uninterrupted(self, capsys, tmp_path):
+        target, _ = self.make_trace(capsys, tmp_path)
+        ck = tmp_path / "ck.npz"
+        wal = tmp_path / "wal.jsonl"
+        durability = (
+            "--defense",
+            "--checkpoint",
+            str(ck),
+            "--wal",
+            str(wal),
+            "--checkpoint-every",
+            "50",
+        )
+        code, out, _ = run_cli(capsys, "stream", "--trace", str(target), "--defense")
+        assert code == 0
+        uninterrupted = json.loads(out)["totals"]["state_fingerprint"]
+        code, out, _ = run_cli(
+            capsys, "stream", "--trace", str(target), *durability,
+            "--stop-after", "100",
+        )
+        assert code == 0
+        assert json.loads(out)["totals"]["stopped_after_events"] == 100
+        code, out, _ = run_cli(
+            capsys, "stream", "--trace", str(target), *durability, "--resume"
+        )
+        assert code == 0
+        resumed = json.loads(out)["totals"]
+        assert resumed["resumed_at_event"] == 100
+        assert resumed["state_fingerprint"] == uninterrupted
+
+    def test_stream_resume_without_checkpoint_fails_cleanly(self, capsys, tmp_path):
+        target, _ = self.make_trace(capsys, tmp_path)
+        code, _, err = run_cli(capsys, "stream", "--trace", str(target), "--resume")
+        assert code == 1
+        assert "resume" in err
+
+    def test_chaos_reports_defended_vs_undefended(self, capsys, tmp_path):
+        report_path = tmp_path / "CHAOS_report.json"
+        code, out, err = run_cli(
+            capsys,
+            "chaos",
+            "--nodes",
+            "24",
+            "--duration",
+            "10",
+            "--liar-fractions",
+            "0.0,0.2",
+            "--report",
+            str(report_path),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == "chaos-report/v1"
+        assert [row["liar_fraction"] for row in payload["rows"]] == [0.0, 0.2]
+        for row in payload["rows"]:
+            assert "degradation_vs_clean" in row["defended"]
+            assert "degradation_vs_clean" in row["undefended"]
+        assert "wrote chaos report" in err
+        assert json.loads(report_path.read_text())["rows"] == payload["rows"]
+
+    def test_chaos_rejects_bad_liar_fractions(self, capsys):
+        code, _, err = run_cli(capsys, "chaos", "--liar-fractions", "abc")
+        assert code == 1
+        assert "liar-fractions" in err
+
     def test_make_trace_rejects_bad_churn(self, capsys, tmp_path):
         code, _, err = run_cli(
             capsys,
@@ -379,7 +460,8 @@ class TestHelpSnapshots:
 
     COMMAND_LIST = (
         "{datasets,generate,analyze,experiments,run,run-all,graph,cache,"
-        "scenarios,run-scenarios,make-trace,stream,bench,serve-bench,perf-gate,report}"
+        "scenarios,run-scenarios,make-trace,stream,chaos,bench,serve-bench,"
+        "perf-gate,report}"
     )
 
     MAKE_TRACE_USAGE = (
@@ -387,13 +469,17 @@ class TestHelpSnapshots:
         "                        [--preset {ds2_like,euclidean_like,meridian_like,"
         "p2psim_like,planetlab_like,uniform_euclidean}]\n"
         "                        [--scenario SCENARIO] [--duration DURATION]\n"
-        "                        [--rate RATE] [--churn CHURN] -o OUTPUT\n"
+        "                        [--rate RATE] [--churn CHURN] [--faults FAULTS]\n"
+        "                        [--fault-seed FAULT_SEED] -o OUTPUT\n"
     )
 
     STREAM_USAGE = (
         "usage: repro stream [-h] [--report REPORT] --trace TRACE "
         "[--window WINDOW]\n"
         "                    [--alert-threshold ALERT_THRESHOLD] [--seed SEED]\n"
+        "                    [--defense] [--checkpoint CHECKPOINT] [--wal WAL]\n"
+        "                    [--checkpoint-every CHECKPOINT_EVERY] [--resume]\n"
+        "                    [--stop-after STOP_AFTER]\n"
     )
 
     RUN_ALL_USAGE = (
