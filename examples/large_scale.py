@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Large-scale analysis: the out-of-core artifact tier end to end.
+
+Above ``SHARD_NODE_THRESHOLD`` (2000) nodes the severity tensor and the
+shortest-path matrix stop being single dense allocations: they shard
+along the source-row axis, each shard persists as a raw memory-mappable
+``.npy`` cache entry, and the logical artifact restores as a lazily
+stitched view.  This example walks that machinery at a size small
+enough to finish quickly — it lowers the shard threshold instead of
+paying for a real 2000-node run, which exercises exactly the same code
+path:
+
+1. resolve severity + shortest paths under a small memory budget and
+   watch them shard;
+2. index the stitched views without densifying anything;
+3. re-run warm and observe the restore is pure memory maps;
+4. show what the same analysis looks like dense, and that the numbers
+   agree bit-for-bit.
+
+Run with::
+
+    python examples/large_scale.py [n_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+import repro.artifacts.shards as shards
+from repro.artifacts import StitchedMatrix, shard_count
+from repro.budget import peak_rss_mb
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    # A real deployment crosses the threshold by having >= 2000 nodes;
+    # the example crosses it by lowering the threshold so the sharded
+    # path runs in seconds.  Everything below is identical either way.
+    shards.SHARD_NODE_THRESHOLD = min(shards.SHARD_NODE_THRESHOLD, n_nodes)
+    budget_mb = 64
+
+    config = ExperimentConfig(n_nodes=n_nodes, memory_budget_mb=budget_mb)
+    n_shards = shard_count(n_nodes, budget_mb)
+    print(f"n={n_nodes}, budget={budget_mb} MiB -> {n_shards} shards")
+
+    with tempfile.TemporaryDirectory(prefix="large-scale-") as tmp:
+        cache = Path(tmp)
+
+        # -- 1. cold resolve: shards are computed and cached independently
+        ctx = ExperimentContext(config, cache=ArtifactCache(cache))
+        severity = ctx.severity.severity
+        shortest = ctx.shortest_paths
+        print(f"severity: {severity!r}")
+        print(f"shortest: {shortest!r}")
+        assert isinstance(severity, StitchedMatrix)
+
+        # -- 2. index without densifying: rows, slices, fancy pairs
+        sampled = range(0, n_nodes, 50)
+        worst_row = max(sampled, key=lambda i: np.nanmax(severity[i]))
+        rows, cols = np.triu_indices(min(n_nodes, 64), k=1)
+        upper = severity[rows, cols]
+        print(
+            f"sampled row {worst_row}: max severity "
+            f"{np.nanmax(severity[worst_row]):.3f}; "
+            f"{np.count_nonzero(upper > 0)} of {upper.size} sampled edges violate"
+        )
+
+        # -- 3. warm restore: memory maps, zero recomputation
+        warm = ExperimentContext(config, cache=ArtifactCache(cache))
+        warm_severity = warm.severity.severity
+        stats = warm.cache.stats
+        mapped = all(isinstance(b, np.memmap) for b in warm_severity.blocks)
+        print(
+            f"warm restore: {stats.hits} hits, {stats.misses} misses, "
+            f"memory-mapped={mapped}"
+        )
+
+        # -- 4. the dense path agrees bit-for-bit (below-threshold runs
+        #    never shard, so this is also the address-compatibility story)
+        shards.SHARD_NODE_THRESHOLD = n_nodes + 1
+        dense = ExperimentContext(ExperimentConfig(n_nodes=n_nodes)).severity.severity
+        identical = np.array_equal(np.asarray(warm_severity), dense, equal_nan=True)
+        print(f"stitched == dense bit-for-bit: {identical}")
+        assert identical
+
+    print(f"peak RSS this process: {peak_rss_mb():.0f} MiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Scale smoke test: sharded artifacts at n >= SHARD_NODE_THRESHOLD.
+
+Resolves the sharded severity tensor and the landmark shortest-path
+matrix at a node count the dense path was never asked to survive
+(default 2000), then asserts the memory model held:
+
+* the artifacts shard (shard count > 1) and restore as stitched
+  memory-mapped views, not dense allocations;
+* the landmark approximation stays an upper bound and is exact on
+  landmark rows;
+* a warm re-run is served entirely from the raw shard cache;
+* peak RSS stays under the ceiling (default 2 GiB — the budget the
+  shard plan was derived from).
+
+Run from a checkout (CI's scale-smoke job, or locally)::
+
+    python scripts/scale_smoke.py --nodes 2000 --report SCALE_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts import SHARD_NODE_THRESHOLD, StitchedMatrix, shard_count
+from repro.budget import peak_rss_mb
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+def _check(condition: bool, message: str, failures: list[str]) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def run(nodes: int, budget_mb: int, ceiling_mb: float, cache_dir: Path) -> dict:
+    failures: list[str] = []
+    config = ExperimentConfig(n_nodes=nodes, memory_budget_mb=budget_mb)
+    n_shards = shard_count(nodes, budget_mb)
+    print(
+        f"scale smoke: n={nodes} (threshold {SHARD_NODE_THRESHOLD}), "
+        f"budget {budget_mb} MiB -> {n_shards} shard(s)"
+    )
+    _check(n_shards > 1, f"shard plan engages ({n_shards} shards)", failures)
+
+    cold = ExperimentContext(config, cache=ArtifactCache(cache_dir))
+    started = time.perf_counter()
+    severity = cold.severity
+    severity_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    shortest = cold.shortest_paths
+    shortest_seconds = time.perf_counter() - started
+    print(
+        f"  cold: severity {severity_seconds:.1f}s, "
+        f"shortest {shortest_seconds:.1f}s, "
+        f"cache {cold.cache.stats.stores} stores"
+    )
+    _check(
+        isinstance(severity.severity, StitchedMatrix)
+        and severity.severity.n_blocks == n_shards,
+        "severity restored as a stitched view over every shard",
+        failures,
+    )
+    _check(
+        isinstance(shortest, StitchedMatrix) and shortest.shape == (nodes, nodes),
+        "shortest paths restored as a stitched view",
+        failures,
+    )
+
+    # The landmark matrix upper-bounds the true shortest path; verify that
+    # (and a loose accuracy bar) against exact Dijkstra sweeps from a few
+    # probe sources — cheap, and no dense n x n allocation.
+    from repro.delayspace.shortest_path import landmark_distances
+
+    rng = np.random.default_rng(0)
+    probes = np.sort(rng.choice(nodes, size=8, replace=False))
+    exact = landmark_distances(cold.matrix, probes)
+    approx = np.stack([np.asarray(shortest[int(p)]) for p in probes])
+    finite = np.isfinite(exact) & np.isfinite(approx)
+    _check(
+        bool(np.all(approx[finite] >= exact[finite] - 1e-9)),
+        "landmark estimate upper-bounds the exact shortest path",
+        failures,
+    )
+    positive = finite & (exact > 0)
+    mean_err = float(np.mean(approx[positive] / exact[positive] - 1.0))
+    _check(
+        mean_err < 1.0,
+        f"mean landmark overestimate {mean_err:.2f} within 100%",
+        failures,
+    )
+
+    rows = rng.integers(0, nodes, size=256)
+    cols = rng.integers(0, nodes, size=256)
+
+    # Warm run: a fresh context over the same cache must restore both
+    # artifacts purely from the raw shard files, memory-mapped.
+    warm = ExperimentContext(config, cache=ArtifactCache(cache_dir))
+    warm_severity = warm.severity
+    warm_shortest = warm.shortest_paths
+    stats = warm.cache.stats
+    print(f"  warm: {stats.hits} hits, {stats.misses} misses")
+    _check(stats.misses == 0 and stats.hits > 0, "warm run all cache hits", failures)
+    mapped = all(
+        isinstance(block, np.memmap)
+        for view in (warm_severity.severity, warm_shortest)
+        for block in view.blocks
+    )
+    _check(mapped, "warm shards are memory-mapped, not densified", failures)
+    _check(
+        bool(
+            np.array_equal(
+                warm_severity.severity[rows, cols],
+                severity.severity[rows, cols],
+                equal_nan=True,
+            )
+        ),
+        "warm severity matches the cold computation",
+        failures,
+    )
+
+    rss = peak_rss_mb()
+    _check(rss < ceiling_mb, f"peak RSS {rss:.0f} MiB < {ceiling_mb:.0f} MiB", failures)
+
+    return {
+        "schema": "repro-scale-smoke/1",
+        "nodes": nodes,
+        "memory_budget_mb": budget_mb,
+        "rss_ceiling_mb": ceiling_mb,
+        "n_shards": n_shards,
+        "cold_severity_seconds": round(severity_seconds, 3),
+        "cold_shortest_seconds": round(shortest_seconds, 3),
+        "warm_cache": {"hits": stats.hits, "misses": stats.misses},
+        "peak_rss_mb": round(rss, 1),
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=2000)
+    parser.add_argument("--memory-budget", type=int, default=256, metavar="MIB",
+                        help="shard-plan budget (default tuned to force >1 shard)")
+    parser.add_argument("--rss-ceiling", type=float, default=2048.0, metavar="MIB")
+    parser.add_argument("--cache-dir", type=Path, default=None)
+    parser.add_argument("--report", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        report = run(args.nodes, args.memory_budget, args.rss_ceiling, args.cache_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="scale-smoke-") as tmp:
+            report = run(args.nodes, args.memory_budget, args.rss_ceiling, Path(tmp))
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.report}")
+    if not report["ok"]:
+        print("scale smoke FAILED:", "; ".join(report["failures"]))
+        return 1
+    print("scale smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

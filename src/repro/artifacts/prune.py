@@ -11,8 +11,11 @@ artifact node could have written:
   (written under a retired ``CACHE_SCHEMA`` tag, or corrupted);
 * entries predating a node's declared era parameters (e.g. a ``vivaldi``
   entry without a ``kernel`` parameter) or carrying retired era values;
-* orphaned halves of the ``.npz`` + ``.json`` pair, and unparseable
-  metadata files.
+* orphaned halves of the ``.npz`` + ``.json`` pair, raw-layout entries
+  (``<key>__<name>.npy`` shard files, see
+  :meth:`~repro.experiments.cache.ArtifactCache.store_raw`) missing any
+  declared array file, stray ``.npy`` files with no metadata, and
+  unparseable metadata files.
 
 Live entries are never touched: the address recomputation uses the stored
 parameters themselves, so any entry the current code could hit is kept.
@@ -75,8 +78,6 @@ def _classify(kind_dir: Path, meta_path: Path) -> str | None:
     node = kinds.get(kind)
     if node is None:
         return f"cache kind {kind!r} has no registered artifact node"
-    if not meta_path.with_suffix(".npz").exists():
-        return "orphaned metadata (missing .npz archive)"
     try:
         with open(meta_path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -85,6 +86,15 @@ def _classify(kind_dir: Path, meta_path: Path) -> str | None:
             raise ValueError("malformed payload")
     except Exception:
         return "unreadable or malformed metadata"
+    raw_names = payload.get("raw")
+    if raw_names is not None:
+        if not isinstance(raw_names, list) or not raw_names:
+            return "unreadable or malformed metadata"
+        for name in raw_names:
+            if not (kind_dir / f"{meta_path.stem}__{name}.npy").exists():
+                return f"raw entry missing array file {name!r}"
+    elif not meta_path.with_suffix(".npz").exists():
+        return "orphaned metadata (missing .npz archive)"
     if stable_key(kind, params) != meta_path.stem:
         return "address no longer matches (written under a retired cache schema)"
     for era_key, allowed in node.era_params.items():
@@ -113,6 +123,8 @@ def prune_cache(root: PathLike, *, dry_run: bool = False) -> PruneReport:
             if not dry_run:
                 meta_path.unlink(missing_ok=True)
                 meta_path.with_suffix(".npz").unlink(missing_ok=True)
+                for raw_path in kind_dir.glob(f"{meta_path.stem}__*.npy"):
+                    raw_path.unlink(missing_ok=True)
         for npz_path in sorted(kind_dir.glob("*.npz")):
             if npz_path.stem in seen_stems:
                 continue
@@ -125,4 +137,19 @@ def prune_cache(root: PathLike, *, dry_run: bool = False) -> PruneReport:
             )
             if not dry_run:
                 npz_path.unlink(missing_ok=True)
+        for npy_path in sorted(kind_dir.glob("*.npy")):
+            # Raw array files are named <address>__<array>.npy; any .npy
+            # whose address half has no (kept) metadata is an orphaned shard.
+            stem = npy_path.name[: -len(".npy")].split("__", 1)[0]
+            if stem in seen_stems and (kind_dir / f"{stem}.json").exists():
+                continue
+            report.pruned.append(
+                PrunedEntry(
+                    kind_dir.name,
+                    npy_path.stem,
+                    "orphaned shard array (missing .json metadata)",
+                )
+            )
+            if not dry_run:
+                npy_path.unlink(missing_ok=True)
     return report

@@ -1,0 +1,265 @@
+"""Row-sharding model of the out-of-core artifact tier.
+
+One logical O(N²) artifact (the TIV severity tensor, the all-pairs
+shortest-path matrix) is sliced along its *source-row* axis into per-slice
+shard artifacts that the scheduler computes and caches independently —
+the sPyNNaker splitter idea (one logical population, many machine
+vertices) applied to the artifact DAG.  Restoring the logical artifact
+then *stitches* the shards back together lazily: each shard is a raw
+``.npy`` file opened with ``np.load(mmap_mode="r")``, and
+:class:`StitchedMatrix` presents the block list as one 2-D array-like
+without ever concatenating it in RAM.
+
+Addressing contract: matrices below :data:`SHARD_NODE_THRESHOLD` nodes
+never shard (:func:`shard_count` returns 1), their artifact parameters are
+byte-identical to the pre-shard era, and every existing cache entry keeps
+hitting.  At or above the threshold the shard count joins the cache
+address, so two runs whose budgets derive the same shard plan share
+entries while different plans never collide.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.budget import SHARD_OUTPUT_FRACTION, budget_bytes
+
+#: Node count below which artifacts are never sharded.  Chosen so every
+#: harness-scale configuration (the 240-node default, the 400-node presets)
+#: keeps its exact pre-shard cache addresses.
+SHARD_NODE_THRESHOLD = 2000
+
+#: Peak bytes one output entry of a sharded artifact occupies (the
+#: float64 severity value plus its int64 violation count — the widest of
+#: the sharded payloads, also used to size shortest-path shards).
+SHARD_BYTES_PER_ENTRY = 16
+
+
+def shard_count(n_nodes: int, memory_budget_mb: int | None = None) -> int:
+    """Number of row shards the budget implies for an ``n_nodes`` matrix.
+
+    Returns 1 (unsharded) below :data:`SHARD_NODE_THRESHOLD`; otherwise at
+    least 2, sized so one shard's output rows fit in
+    :data:`~repro.budget.SHARD_OUTPUT_FRACTION` of the budget.
+    """
+    n = int(n_nodes)
+    if n < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n < SHARD_NODE_THRESHOLD:
+        return 1
+    allowance = int(budget_bytes(memory_budget_mb) * SHARD_OUTPUT_FRACTION)
+    rows_per_shard = max(1, allowance // (SHARD_BYTES_PER_ENTRY * n))
+    return max(2, math.ceil(n / rows_per_shard))
+
+
+def shard_slices(n_nodes: int, n_shards: int) -> tuple[tuple[int, int], ...]:
+    """Balanced, contiguous ``(start, stop)`` row ranges of each shard."""
+    n = int(n_nodes)
+    k = int(n_shards)
+    if k < 1 or k > n:
+        raise ValueError(f"need 1 <= n_shards <= n_nodes, got {n_shards} for {n_nodes}")
+    base, extra = divmod(n, k)
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for index in range(k):
+        stop = start + base + (1 if index < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return tuple(slices)
+
+
+@dataclass(frozen=True)
+class ShardPart:
+    """One materialised shard: its arrays plus the row-range metadata.
+
+    ``arrays`` values are either in-memory ndarrays (cold compute) or
+    read-only memory maps over the cache's raw ``.npy`` files (warm
+    restore); the stitch layer treats both identically.
+    """
+
+    arrays: dict = field(repr=False)
+    meta: dict
+
+    @property
+    def start(self) -> int:
+        return int(self.meta["start"])
+
+    @property
+    def stop(self) -> int:
+        return int(self.meta["stop"])
+
+
+class StitchedMatrix:
+    """A 2-D array-like over a list of row blocks, stitched lazily.
+
+    The blocks are typically memory-mapped shard files, so indexing pulls
+    only the touched pages into RAM.  Supported indexing covers what the
+    analysis layer uses: integer rows, row slices, and ``(rows, cols)``
+    pairs where either side is an integer, a slice or an integer array
+    (``matrix[np.triu_indices(n)]`` style fancy pairs included).
+    ``np.asarray(view)`` materialises the dense matrix — that is the
+    caller explicitly opting out of the memory model.
+    """
+
+    def __init__(self, blocks: Sequence[np.ndarray]):
+        if not blocks:
+            raise ValueError("StitchedMatrix needs at least one block")
+        blocks = [np.asarray(b) if not isinstance(b, np.ndarray) else b for b in blocks]
+        ncols = blocks[0].shape[1]
+        dtype = blocks[0].dtype
+        for block in blocks:
+            if block.ndim != 2 or block.shape[1] != ncols:
+                raise ValueError("all blocks must be 2-D with the same column count")
+            if block.dtype != dtype:
+                raise ValueError("all blocks must share one dtype")
+        self._blocks = list(blocks)
+        self._starts = np.cumsum([0] + [b.shape[0] for b in blocks])[:-1]
+        self._shape = (int(sum(b.shape[0] for b in blocks)), int(ncols))
+        self._dtype = dtype
+
+    # -- array-protocol surface ------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def size(self) -> int:
+        return self._shape[0] * self._shape[1]
+
+    def __len__(self) -> int:
+        return self._shape[0]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def blocks(self) -> tuple[np.ndarray, ...]:
+        """The underlying row blocks (read-only view of the block list)."""
+        return tuple(self._blocks)
+
+    def block_slices(self) -> tuple[tuple[int, int], ...]:
+        """The ``(start, stop)`` row range each block covers."""
+        stops = list(self._starts[1:]) + [self._shape[0]]
+        return tuple((int(s), int(e)) for s, e in zip(self._starts, stops))
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        dense = np.concatenate([np.asarray(b) for b in self._blocks], axis=0)
+        return dense.astype(dtype) if dtype is not None else dense
+
+    # -- indexing --------------------------------------------------------------
+
+    def _norm_row(self, index: int) -> int:
+        row = int(index)
+        if row < 0:
+            row += self._shape[0]
+        if not 0 <= row < self._shape[0]:
+            raise IndexError(f"row {index} out of range for {self._shape}")
+        return row
+
+    def _row(self, index: int) -> np.ndarray:
+        row = self._norm_row(index)
+        block = int(np.searchsorted(self._starts, row, side="right")) - 1
+        return self._blocks[block][row - int(self._starts[block])]
+
+    def rows(self, start: int, stop: int) -> np.ndarray:
+        """Materialise the row block ``[start, stop)`` as one ndarray."""
+        start, stop = max(0, int(start)), min(self._shape[0], int(stop))
+        if stop <= start:
+            return np.empty((0, self._shape[1]), dtype=self._dtype)
+        parts = []
+        for (b_start, b_stop), block in zip(self.block_slices(), self._blocks):
+            lo, hi = max(start, b_start), min(stop, b_stop)
+            if lo < hi:
+                parts.append(np.asarray(block[lo - b_start : hi - b_start]))
+        return np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0].copy()
+
+    def _gather_rows(self, indices: np.ndarray) -> np.ndarray:
+        rows = np.where(indices < 0, indices + self._shape[0], indices)
+        if rows.size and (rows.min() < 0 or rows.max() >= self._shape[0]):
+            raise IndexError("row index out of range")
+        out = np.empty((rows.size, self._shape[1]), dtype=self._dtype)
+        block_of = np.searchsorted(self._starts, rows, side="right") - 1
+        for b, block in enumerate(self._blocks):
+            mask = block_of == b
+            if mask.any():
+                out[mask] = block[rows[mask] - int(self._starts[b])]
+        return out
+
+    def _gather_pairs(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        rows_b, cols_b = np.broadcast_arrays(rows, cols)
+        out_shape = rows_b.shape
+        rows_f = np.where(rows_b.ravel() < 0, rows_b.ravel() + self._shape[0], rows_b.ravel())
+        cols_f = cols_b.ravel()
+        if rows_f.size and (rows_f.min() < 0 or rows_f.max() >= self._shape[0]):
+            raise IndexError("row index out of range")
+        out = np.empty(rows_f.size, dtype=self._dtype)
+        block_of = np.searchsorted(self._starts, rows_f, side="right") - 1
+        for b, block in enumerate(self._blocks):
+            mask = block_of == b
+            if mask.any():
+                out[mask] = block[rows_f[mask] - int(self._starts[b]), cols_f[mask]]
+        return out.reshape(out_shape)
+
+    def __getitem__(self, index: Any):
+        if isinstance(index, tuple):
+            if len(index) != 2:
+                raise IndexError("StitchedMatrix supports at most 2-D indexing")
+            rows, cols = index
+            if isinstance(rows, (int, np.integer)):
+                return self._row(int(rows))[cols]
+            if isinstance(rows, slice):
+                start, stop, step = rows.indices(self._shape[0])
+                if step == 1:
+                    return self.rows(start, stop)[:, cols]
+                rows = np.arange(start, stop, step)
+            rows = np.asarray(rows)
+            if rows.dtype == bool:
+                rows = np.flatnonzero(rows)
+            if isinstance(cols, (slice,)):
+                return self._gather_rows(rows)[:, cols]
+            return self._gather_pairs(rows, np.asarray(cols))
+        if isinstance(index, (int, np.integer)):
+            return self._row(int(index))
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._shape[0])
+            if step == 1:
+                return self.rows(start, stop)
+            return self._gather_rows(np.arange(start, stop, step))
+        rows = np.asarray(index)
+        if rows.dtype == bool:
+            rows = np.flatnonzero(rows)
+        return self._gather_rows(rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"StitchedMatrix(shape={self._shape}, dtype={self._dtype}, "
+            f"blocks={len(self._blocks)})"
+        )
+
+
+def stitch_parts(parts: Sequence[ShardPart], array: str) -> StitchedMatrix:
+    """Stitch one named array across shard parts, ordered by row range."""
+    ordered = sorted(parts, key=lambda part: part.start)
+    expected = 0
+    for part in ordered:
+        if part.start != expected:
+            raise ValueError(
+                f"shard rows are not contiguous: expected start {expected}, "
+                f"got {part.start}"
+            )
+        expected = part.stop
+    return StitchedMatrix([part.arrays[array] for part in ordered])

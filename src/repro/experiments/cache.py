@@ -13,6 +13,17 @@ Each cache entry is a pair of files under ``<root>/<kind>/``:
 * ``<key>.npz`` — the numpy arrays of the artefact;
 * ``<key>.json`` — the generating parameters plus small scalar metadata.
 
+The out-of-core shard tier stores a second entry layout: *raw* entries
+(:meth:`ArtifactCache.store_raw`) persist each array as an uncompressed
+``<key>__<name>.npy`` file next to the usual ``<key>.json``, because
+``np.load(mmap_mode="r")`` only memory-maps plain ``.npy`` files — the
+members of an ``.npz`` archive are always decompressed eagerly.
+:meth:`ArtifactCache.load_raw` therefore restores shard arrays as
+read-only memory maps, which is what keeps stitched large-matrix views
+out of RAM.  The metadata file lists the raw array names under a ``"raw"``
+key so maintenance tooling (``repro cache prune``) can detect orphaned
+shard files.
+
 Writes are atomic (temp file + ``os.replace``) so concurrent workers racing
 to store the same entry cannot corrupt it; a corrupted or truncated entry is
 detected on load, deleted, and treated as a miss so the artefact is simply
@@ -136,10 +147,22 @@ class ArtifactCache:
         base = self._root / kind
         return base / f"{key}.npz", base / f"{key}.json"
 
+    def _raw_path(self, meta_path: Path, name: str) -> Path:
+        return meta_path.with_name(f"{meta_path.stem}__{name}.npy")
+
     def contains(self, kind: str, params: Mapping[str, Any]) -> bool:
-        """True when an entry for ``(kind, params)`` exists (no stats update)."""
+        """True when an entry for ``(kind, params)`` exists (no stats update).
+
+        Covers both layouts: the ``.npz`` pair and raw shard entries (a
+        ``.json`` accompanied by ``<key>__*.npy`` array files).
+        """
         npz_path, meta_path = self._paths(kind, params)
-        return npz_path.exists() and meta_path.exists()
+        if not meta_path.exists():
+            return False
+        if npz_path.exists():
+            return True
+        pattern = f"{meta_path.stem}__*.npy"
+        return next(meta_path.parent.glob(pattern), None) is not None
 
     def load(self, kind: str, params: Mapping[str, Any]) -> CacheEntry | None:
         """Load the entry for ``(kind, params)``, or ``None`` on a miss.
@@ -193,9 +216,85 @@ class ArtifactCache:
         )
         self.stats.stores += 1
 
+    def store_raw(
+        self,
+        kind: str,
+        params: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Persist ``arrays`` as raw ``.npy`` files (the memory-mappable layout).
+
+        Array names must be usable as file-name fragments.  The metadata
+        file records them under ``"raw"`` so loads and prune passes know
+        which files belong to the entry.
+        """
+        _, meta_path = self._paths(kind, params)
+        meta_path.parent.mkdir(parents=True, exist_ok=True)
+        names = sorted(arrays)
+        for name in names:
+            if not name.isidentifier():
+                raise ValueError(f"raw array name {name!r} is not file-name safe")
+        payload = {
+            "kind": kind,
+            "params": {k: _jsonable(v) for k, v in params.items()},
+            "meta": {k: _jsonable(v) for k, v in (meta or {}).items()},
+            "raw": names,
+        }
+        for name in names:
+            array = np.ascontiguousarray(arrays[name])
+            self._atomic_write(
+                self._raw_path(meta_path, name), lambda handle, a=array: np.save(handle, a)
+            )
+        self._atomic_write(
+            meta_path,
+            lambda handle: handle.write(json.dumps(payload, sort_keys=True).encode("utf-8")),
+        )
+        self.stats.stores += 1
+
+    def load_raw(
+        self, kind: str, params: Mapping[str, Any], *, mmap: bool = True
+    ) -> CacheEntry | None:
+        """Load a raw entry, memory-mapping its arrays by default.
+
+        With ``mmap=True`` each array is an ``np.load(mmap_mode="r")``
+        view whose pages are only read when touched — the restore path of
+        the stitched out-of-core artifacts.  Corrupted or incomplete
+        entries are evicted and reported as misses, exactly like the
+        ``.npz`` layout.
+        """
+        _, meta_path = self._paths(kind, params)
+        if not meta_path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict) or payload.get("kind") != kind:
+                raise ValueError(f"cache entry {meta_path} does not describe kind {kind!r}")
+            names = payload["raw"]
+            if not isinstance(names, list) or not names:
+                raise ValueError(f"cache entry {meta_path} is not a raw entry")
+            arrays = {
+                name: np.load(
+                    self._raw_path(meta_path, name),
+                    mmap_mode="r" if mmap else None,
+                    allow_pickle=False,
+                )
+                for name in names
+            }
+        except Exception:
+            self.evict(kind, params)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CacheEntry(arrays=arrays, meta=payload.get("meta", {}))
+
     def evict(self, kind: str, params: Mapping[str, Any]) -> None:
-        """Remove the entry for ``(kind, params)`` if present."""
-        for path in self._paths(kind, params):
+        """Remove the entry for ``(kind, params)`` if present (both layouts)."""
+        npz_path, meta_path = self._paths(kind, params)
+        raw_paths = list(meta_path.parent.glob(f"{meta_path.stem}__*.npy"))
+        for path in (npz_path, meta_path, *raw_paths):
             try:
                 path.unlink(missing_ok=True)
             except OSError:

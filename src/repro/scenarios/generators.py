@@ -32,6 +32,8 @@ from repro.delayspace.synthetic import (
     SyntheticSpaceConfig,
     clustered_delay_space,
     euclidean_delay_space,
+    sparse_clustered_delay_space,
+    sparse_euclidean_delay_space,
 )
 from repro.scenarios.spec import Scenario
 
@@ -193,15 +195,32 @@ def load_scenario_dataset(
         return load_dataset(preset_name, n_nodes=count, rng=seed, return_clusters=True)
 
     generated_count = _churned_count(scenario, count)
+    sparse = scenario.measured_fraction < 1.0
     if preset.euclidean or preset.config is None:
         # Euclidean presets have no synthetic-space configuration: the
         # pre-generation dimensions are no-ops and only the perturbations
         # apply (the space stays TIV-free unless a perturbation breaks it).
-        matrix = euclidean_delay_space(generated_count, rng=seed)
+        if sparse:
+            matrix = sparse_euclidean_delay_space(
+                generated_count, measured_fraction=scenario.measured_fraction, rng=seed
+            )
+        else:
+            matrix = euclidean_delay_space(generated_count, rng=seed)
         clusters = np.zeros(generated_count, dtype=int)
     else:
         config = scenario_space_config(scenario, preset.config, generated_count)
-        matrix, clusters = clustered_delay_space(config, rng=seed, return_clusters=True)
+        if sparse:
+            # The sparse path samples the measured pair set up front and
+            # generates those pairs only — a full matrix is never built
+            # just to be masked down to the measurement set.
+            matrix, clusters = sparse_clustered_delay_space(
+                config,
+                measured_fraction=scenario.measured_fraction,
+                rng=seed,
+                return_clusters=True,
+            )
+        else:
+            matrix, clusters = clustered_delay_space(config, rng=seed, return_clusters=True)
     return apply_perturbations(
         scenario,
         matrix,

@@ -482,9 +482,19 @@ class TestHelpSnapshots:
         "                    [--stop-after STOP_AFTER]\n"
     )
 
+    GRAPH_USAGE = (
+        "usage: repro graph [-h] [--nodes NODES] [--seed SEED] "
+        "[--memory-budget MIB]\n"
+        "                   [--cache-dir CACHE_DIR]\n"
+        "                   [--experiment EXPERIMENT [EXPERIMENT ...]]\n"
+        "                   [--scenario SCENARIO] [--json]\n"
+    )
+
     RUN_ALL_USAGE = (
-        "usage: repro run-all [-h] [--nodes NODES] [--seed SEED] [--jobs JOBS]\n"
-        "                     [--cache-dir CACHE_DIR] [--report REPORT]\n"
+        "usage: repro run-all [-h] [--nodes NODES] [--seed SEED] "
+        "[--memory-budget MIB]\n"
+        "                     [--jobs JOBS] [--cache-dir CACHE_DIR] "
+        "[--report REPORT]\n"
         "                     [--only ONLY [ONLY ...]] [--scenario SCENARIO] "
         "[--full]\n"
     )
@@ -504,6 +514,10 @@ class TestHelpSnapshots:
     def test_run_all_usage_pinned(self, capsys, monkeypatch):
         out = capture_help(capsys, monkeypatch, "run-all")
         assert out.startswith(self.RUN_ALL_USAGE)
+
+    def test_graph_usage_pinned(self, capsys, monkeypatch):
+        out = capture_help(capsys, monkeypatch, "graph")
+        assert out.startswith(self.GRAPH_USAGE)
 
     @staticmethod
     def option_help(text, flag):
