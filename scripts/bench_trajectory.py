@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Render the repository's committed benchmark trajectory as Markdown.
+
+Every PR that moves a performance number commits the evidence
+(``BENCH_perf.json``, ``BENCH_experiments.json``, ``BENCH_serving.json``),
+so the git history *is* the performance trajectory.  This script walks the
+history of those reports and aggregates the headline numbers of every
+committed version into one Markdown document — one table per report — so
+a reviewer can see how each kernel family, the end-to-end sweep, and the
+serving path evolved PR over PR without checking anything out.
+
+Run from anywhere inside a checkout::
+
+    python scripts/bench_trajectory.py                 # print to stdout
+    python scripts/bench_trajectory.py -o TRAJECTORY.md
+
+Only commits where a report changed produce a row; a report that is
+missing or unparsable at some commit is skipped for that commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+PERF_REPORT = "BENCH_perf.json"
+EXPERIMENTS_REPORT = "BENCH_experiments.json"
+SERVING_REPORT = "BENCH_serving.json"
+
+
+def _git(repo: str, *args: str) -> str:
+    return subprocess.run(
+        ["git", "-C", repo, *args], check=True, capture_output=True, text=True
+    ).stdout
+
+
+def commits_touching(repo: str, path: str, rev: str) -> list[tuple[str, str, str]]:
+    """``(sha, date, subject)`` for every commit that changed ``path``, oldest first."""
+    out = _git(repo, "log", "--reverse", "--format=%h%x09%as%x09%s", rev, "--", path)
+    rows = []
+    for line in out.splitlines():
+        sha, date, subject = line.split("\t", 2)
+        rows.append((sha, date, subject))
+    return rows
+
+
+def report_at(repo: str, sha: str, path: str) -> dict | None:
+    """The parsed report as committed at ``sha``, or ``None``."""
+    try:
+        text = _git(repo, "show", f"{sha}:{path}")
+    except subprocess.CalledProcessError:
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _headline_speedups(payload: dict) -> dict[str, str]:
+    """One ``family -> "Nx @ size"`` cell per speedup family of a report."""
+    cells: dict[str, str] = {}
+    speedups = payload.get("speedups")
+    if not speedups and "vivaldi_speedup" in payload:
+        # Reports older than the family table only carried the Vivaldi pair.
+        speedups = {"vivaldi_step": payload["vivaldi_speedup"]}
+    for family, per_size in (speedups or {}).items():
+        if not isinstance(per_size, dict) or not per_size:
+            continue
+        size = max(per_size, key=lambda key: int(key))
+        cells[family] = f"{per_size[size]:.1f}x @ n={size}"
+    return cells
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> list[str]:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _subject(text: str, limit: int = 48) -> str:
+    text = text.replace("|", "\\|")
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def speedup_section(repo: str, rev: str, path: str, title: str) -> list[str]:
+    """A trajectory table of per-family speedups for one speedup report."""
+    commits = commits_touching(repo, path, rev)
+    per_commit: list[tuple[str, str, str, dict[str, str]]] = []
+    families: list[str] = []
+    for sha, date, subject in commits:
+        payload = report_at(repo, sha, path)
+        if payload is None:
+            continue
+        cells = _headline_speedups(payload)
+        per_commit.append((sha, date, subject, cells))
+        for family in cells:
+            if family not in families:
+                families.append(family)
+    lines = [f"## {title}", ""]
+    if not per_commit:
+        return lines + [f"_No committed versions of `{path}`._", ""]
+    header = ["commit", "date", "change"] + families
+    rows = [
+        [sha, date, _subject(subject)]
+        + [cells.get(family, "—") for family in families]
+        for sha, date, subject, cells in per_commit
+    ]
+    return lines + _markdown_table(header, rows) + [""]
+
+
+def experiments_section(repo: str, rev: str) -> list[str]:
+    """A trajectory table of the end-to-end sweep report's headline totals."""
+    lines = ["## End-to-end experiment sweep (`BENCH_experiments.json`)", ""]
+    rows = []
+    for sha, date, subject in commits_touching(repo, EXPERIMENTS_REPORT, rev):
+        payload = report_at(repo, sha, EXPERIMENTS_REPORT)
+        if payload is None or "totals" not in payload:
+            continue
+        totals = payload["totals"]
+        cache = totals.get("cache", {})
+        artifacts = totals.get("artifacts", {})
+        shm = artifacts.get("shm", {}) if isinstance(artifacts, dict) else {}
+        rows.append(
+            [
+                sha,
+                date,
+                _subject(subject),
+                str(totals.get("experiments", "—")),
+                str(payload.get("jobs", "—")),
+                f"{totals['wall_seconds']:.2f}s" if "wall_seconds" in totals else "—",
+                f"{cache.get('hits', 0)}/{cache.get('misses', 0)}",
+                str(shm.get("attaches", "—")) if shm else "—",
+            ]
+        )
+    if not rows:
+        return lines + [f"_No committed versions of `{EXPERIMENTS_REPORT}`._", ""]
+    header = [
+        "commit", "date", "change", "experiments", "jobs",
+        "wall", "cache hits/misses", "shm attaches",
+    ]
+    return lines + _markdown_table(header, rows) + [""]
+
+
+def render(repo: str, rev: str) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Headline numbers of every committed bench report, oldest first.",
+        "Speedup cells show the family's ratio at the largest measured size",
+        "in that commit's report.",
+        "",
+    ]
+    lines += speedup_section(
+        repo, rev, PERF_REPORT, f"Kernel speedups (`{PERF_REPORT}`)"
+    )
+    lines += experiments_section(repo, rev)
+    lines += speedup_section(
+        repo, rev, SERVING_REPORT, f"Serving speedups (`{SERVING_REPORT}`)"
+    )
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", default=".", help="path to the git checkout")
+    parser.add_argument("--rev", default="HEAD", help="history tip to walk (default HEAD)")
+    parser.add_argument(
+        "-o", "--output", default="-", help="output file ('-' for stdout)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        document = render(args.repo, args.rev)
+    except subprocess.CalledProcessError as exc:
+        print(f"error: git failed: {exc.stderr.strip()}", file=sys.stderr)
+        return 1
+    if args.output == "-":
+        sys.stdout.write(document)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

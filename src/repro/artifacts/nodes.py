@@ -170,29 +170,41 @@ def _shard_range(n_nodes: int, index: int, n_shards: int) -> tuple[int, int]:
 
 
 def _stitched_parts(ctx, node_name: str, keys: tuple[ArtifactKey, ...]) -> list:
-    """Materialise shard keys and return their parts, preferring memory maps.
+    """Materialise shard keys and return their parts, preferring shared blocks.
 
     A cold run computes each shard in-memory and stores it; this helper
-    then swaps the memoised in-RAM rows for the freshly stored read-only
-    memory map (releasing the context memo), so the stitched view the
-    consumers hold is backed by the cache files, not by resident arrays.
-    Without a cache the in-memory parts are kept — out-of-core behaviour
-    requires a cache directory, which the CLI always supplies.
+    then swaps the memoised in-RAM rows for an already-shared block — a
+    zero-copy shared-memory attach when the run's
+    :class:`~repro.experiments.cache.SharedArtifactTier` holds the shard
+    (so the stitched view rides shm blocks), else the freshly stored
+    read-only memory map — releasing the context memo either way, so the
+    stitched view the consumers hold is not backed by private resident
+    arrays.  Without a cache the in-memory parts are kept — out-of-core
+    behaviour requires a cache directory, which the CLI always supplies.
     """
     from repro.artifacts.shards import ShardPart
+    from repro.experiments.cache import ShmArray, stable_key
+
+    def shared(part) -> bool:
+        return any(
+            isinstance(array, (np.memmap, ShmArray)) for array in part.arrays.values()
+        )
 
     node = get_node(node_name)
     parts = []
     for key in keys:
         part = ctx.materialize(key)
         if ctx.cache is not None:
-            if not any(
-                isinstance(array, np.memmap) for array in part.arrays.values()
-            ):
-                entry = ctx.cache.load_raw(node.kind, node.params(ctx, key.instance))
+            if not shared(part):
+                params = node.params(ctx, key.instance)
+                entry = None
+                if getattr(ctx, "shm", None) is not None:
+                    entry = ctx.shm.attach(node.kind, stable_key(node.kind, params))
+                if entry is None:
+                    entry = ctx.cache.load_raw(node.kind, params)
                 if entry is not None:
                     part = ShardPart(dict(entry.arrays), dict(entry.meta))
-            if any(isinstance(array, np.memmap) for array in part.arrays.values()):
+            if shared(part):
                 ctx.release(key)
         parts.append(part)
     return parts

@@ -173,6 +173,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         report_path=args.report,
+        shm=False if args.no_shm else None,
     )
     payload = outcome.report.as_dict()
     if not args.full:
@@ -298,6 +299,7 @@ def _cmd_run_scenarios(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         report_path=args.report,
+        shm=False if args.no_shm else None,
     )
     _print_json(outcome.report.as_dict())
     if args.report:
@@ -573,6 +575,17 @@ def _only_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _shm_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="disable the zero-copy shared-memory artifact tier (parallel "
+        "runs fall back to disk-only artifact transport)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -628,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
             _cache_parent(),
             _report_parent(report_name),
             _only_parent(),
+            _shm_parent(),
         ]
 
     run_all = sub.add_parser(

@@ -34,6 +34,8 @@ class TestKernelRegistry:
         assert "tiv_severity" in names
         assert "shortest_paths" in names
         assert "scenario_generation" in names
+        assert "artifact_restore_disk" in names
+        assert "artifact_attach_shm" in names
 
     def test_unknown_kernel_raises(self):
         with pytest.raises(BenchmarkError):
@@ -48,10 +50,24 @@ class TestKernelRegistry:
             "lat_adjust",
             "meridian_query",
             "stream_closest",
+            "artifact_transport",
         }
         for family, (batched, reference) in families.items():
+            if family == "artifact_transport":
+                continue  # explicitly paired, no suffix convention
             assert batched == f"{family}_batched"
             assert reference == f"{family}_reference"
+        # The explicit pair keeps the (fast, reference) orientation.
+        assert families["artifact_transport"] == (
+            "artifact_attach_shm",
+            "artifact_restore_disk",
+        )
+
+    def test_artifact_transport_family_expands(self):
+        assert resolve_kernel_names(["artifact_transport"]) == (
+            "artifact_attach_shm",
+            "artifact_restore_disk",
+        )
 
     def test_resolve_kernel_names_expands_families_and_commas(self):
         assert resolve_kernel_names(["gnp_fit"]) == (
